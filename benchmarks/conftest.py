@@ -1,0 +1,24 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs its experiment once (``benchmark.pedantic`` with a
+single round — these are minutes-long simulations, not microbenchmarks),
+prints the regenerated table, saves it under ``benchmarks/results/``,
+and asserts the paper's qualitative shape.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_table(name: str, table: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(table + "\n")
+    print()
+    print(table)
+
+
+def run_once(benchmark, fn):
+    """Run a long experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

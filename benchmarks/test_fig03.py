@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 3 — RFC2544 zero-loss throughput vs ring size."""
+
+from conftest import run_once, save_table
+
+from repro.experiments import fig03_ring_size as fig3
+
+
+def test_fig03_ring_size(benchmark):
+    result = run_once(benchmark, lambda: fig3.run(
+        ring_sizes=(64, 128, 256, 512, 1024), packet_sizes=(64, 1500),
+        measure_s=2.2, warmup_s=0.4, resolution=0.06, max_trials=14))
+    save_table("fig03", fig3.format_table(result))
+
+    # Shape vs the paper: 64B throughput collapses as the ring shrinks
+    # (-13% at 512, <10% of peak at 64); 1.5KB stays flat down to ~256.
+    assert result.relative(64, 512) < 0.95
+    assert result.relative(64, 64) < 0.30
+    assert result.relative(64, 64) < result.relative(64, 256) \
+        < result.relative(64, 1024)
+    assert result.relative(1500, 512) > 0.9
+    assert result.relative(1500, 64) < result.relative(1500, 1024)

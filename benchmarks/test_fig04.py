@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 4 — the Latent Contender microbenchmark."""
+
+from conftest import run_once, save_table
+
+from repro.experiments import fig04_latent_contender as fig4
+
+
+def test_fig04_latent_contender(benchmark):
+    result = run_once(benchmark, lambda: fig4.run(
+        working_sets_mb=(4, 8, 12, 16), warmup_s=1.0, measure_s=2.5))
+    save_table("fig04", fig4.format_table(result))
+
+    # Paper: DDIO overlap costs X-Mem up to 26% throughput and 32%
+    # latency even with zero core-level way sharing.
+    assert result.worst_throughput_loss() > 0.10
+    assert result.worst_latency_gain() > 0.10
+    for point in result.points:
+        assert point.throughput_overlap <= point.throughput_dedicated * 1.02

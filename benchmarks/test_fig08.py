@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 8 — solving the Leaky DMA problem."""
+
+from conftest import run_once, save_table
+
+from repro.experiments import fig08_leaky_dma as fig8
+
+
+def test_fig08_leaky_dma(benchmark):
+    result = run_once(benchmark, lambda: fig8.run(
+        packet_sizes=(64, 128, 256, 512, 1024, 1500),
+        duration_s=10.0, warmup_s=4.0))
+    save_table("fig08", fig8.format_table(result))
+
+    # (a)/(b): baseline DDIO misses grow with packet size; IAT converts
+    # them back into hits at MTU size.
+    base_small = result.point(64, "baseline")
+    base_large = result.point(1500, "baseline")
+    iat_large = result.point(1500, "iat")
+    assert base_large.ddio_misses_per_s > 10 * max(1.0,
+                                                   base_small.ddio_misses_per_s)
+    assert iat_large.ddio_misses_per_s < 0.5 * base_large.ddio_misses_per_s
+    assert iat_large.ddio_hits_per_s > base_large.ddio_hits_per_s
+    # (c): memory bandwidth reduced (paper: up to 15.6%).
+    assert result.mem_bw_reduction(1500) > 0.10
+    # (d): OVS IPC improves at large packets (paper: ~5%).
+    assert result.ipc_gain(1500) > 0.03
+    # IAT actually widened the DDIO mask.
+    assert iat_large.ddio_ways_final > 2

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 10 — the four-policy Latent Contender study."""
+
+from conftest import run_once, save_table
+
+from repro.experiments import fig10_shuffle as fig10
+
+
+def test_fig10_policies(benchmark):
+    result = run_once(benchmark, lambda: fig10.run(
+        packet_sizes=(64, 1500)))
+    save_table("fig10", fig10.format_table(result))
+
+    for size in (64, 1500):
+        base = result.point("baseline", size)
+        iat = result.point("iat", size)
+        # IAT beats the baseline in both phases (paper: +53.6~111.5%).
+        assert iat.phase2_throughput > base.phase2_throughput
+        assert iat.phase3_throughput > base.phase3_throughput * 1.2
+        assert iat.phase3_latency_ns < base.phase3_latency_ns
+    # Core-only loses its edge at large packets after DDIO widens: all
+    # of its granted ways are DDIO's (paper: "very close to baseline").
+    core3 = result.point("core-only", 1500)
+    iat3 = result.point("iat", 1500)
+    assert iat3.phase3_throughput > core3.phase3_throughput
+    # IAT also beats Core-only in phase 2 at large packets.
+    assert result.gain_vs("iat", "core-only", 1500, phase=2) > 0.0

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 11 — allocation timeline under IAT."""
+
+from conftest import run_once, save_table
+
+from repro.experiments import fig11_timeline as fig11
+
+
+def test_fig11_timeline(benchmark):
+    result = run_once(benchmark, lambda: fig11.run(
+        packet_size=1500, t_grow=5.0, t_ddio=15.0, t_end=20.0))
+    save_table("fig11", fig11.format_timeline(result))
+
+    # IAT reacts "within the timescale of the sleep interval" to both
+    # phase changes: container 4's allocation moves shortly after its
+    # working set grows at t=5s...
+    delay = result.reaction_delay(5.0, window=4.0)
+    assert delay is not None and delay <= 4.0
+    # ...and container 4 (the non-I/O PC tenant) ends isolated from the
+    # widened DDIO ways.  Demands exceed the cache, so some groups must
+    # overlap DDIO — but every sharer is either best-effort (c2/c3, the
+    # shuffler's choice) or an I/O tenant whose inbound data *is* the
+    # DDIO content (c0/c1); never the PC X-Mem container.
+    final_ddio = result.ddio_masks[-1]
+    assert result.masks["c4"][-1] & final_ddio == 0
+    overlapped = {name for name, series in result.masks.items()
+                  if series[-1] & final_ddio}
+    assert overlapped <= {"c0", "c1", "c2", "c3"}
+    assert {"c2", "c3"} & overlapped  # a BE tenant is sharing

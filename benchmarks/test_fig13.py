@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 13 — RocksDB normalized weighted latency."""
+
+from conftest import run_once, save_table
+
+from repro.experiments import fig13_rocksdb_latency as fig13
+
+LETTERS = ("A", "C")
+SEEDS = (0, 1, 2, 3)
+
+
+def test_fig13_rocksdb_latency(benchmark):
+    result = run_once(benchmark, lambda: fig13.run(
+        scenarios=("kvs", "nfv"), letters=LETTERS, seeds=SEEDS,
+        warmup_s=1.5, measure_s=2.5))
+    save_table("fig13", fig13.format_table(result))
+
+    for scenario in ("kvs", "nfv"):
+        for letter in LETTERS:
+            cell = result.cell(scenario, letter)
+            # Co-running never makes RocksDB much faster than solo.
+            assert cell.baseline_max > 0.95
+            # IAT keeps weighted latency at or below the baseline's
+            # worst placement (paper: 14.1%/19.7% -> 6.4%/9.9%).
+            assert cell.iat <= cell.baseline_max + 0.02
+    worst = max(result.cell(s, l).baseline_max
+                for s in ("kvs", "nfv") for l in LETTERS)
+    assert worst > 1.01

@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 14 — Redis YCSB degradation."""
+
+from conftest import run_once, save_table
+
+from repro.experiments import fig14_redis_ycsb as fig14
+
+LETTERS = ("A", "B", "C")
+SEEDS = (0, 1, 2, 3)
+
+
+def test_fig14_redis_ycsb(benchmark):
+    result = run_once(benchmark, lambda: fig14.run(
+        letters=LETTERS, seeds=SEEDS, warmup_s=1.5, measure_s=2.5))
+    save_table("fig14", fig14.format_table(result))
+
+    for letter in LETTERS:
+        tput = result.cell(letter, "throughput")
+        avg = result.cell(letter, "avg")
+        # The baseline's worst random placement hurts Redis even though
+        # Redis "seems" isolated (paper: 7.1~24.5% tput, 7.9~26.5% avg).
+        # The simulated magnitude is smaller than the paper's — the
+        # virtio path shields most of Redis's service from the DDIO
+        # ways (see EXPERIMENTS.md) — but the direction and ordering
+        # must hold.
+        assert tput.baseline_worst >= tput.baseline_best
+        # IAT's degradation stays at or below the baseline's worst case
+        # (paper: 2.8~5.6% tput).
+        assert tput.iat <= tput.baseline_worst + 0.02
+        assert avg.iat <= avg.baseline_worst + 0.05
+    worst = max(result.cell(l, "throughput").baseline_worst
+                for l in LETTERS)
+    assert worst > 0.005

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 15 — IAT daemon per-iteration cost."""
+
+from conftest import run_once, save_table
+
+from repro.experiments import fig15_overhead as fig15
+
+
+def test_fig15_overhead(benchmark):
+    result = run_once(benchmark, lambda: fig15.run(
+        one_core_counts=(1, 2, 4, 8, 16), two_core_counts=(1, 2, 4, 8),
+        iterations=100))
+    save_table("fig15", fig15.format_table(result))
+
+    # Poll cost grows with monitored cores, but sub-linearly.
+    one = result.point(1, 1)
+    sixteen = result.point(16, 1)
+    assert sixteen.stable_us > one.stable_us
+    assert sixteen.stable_us < 16 * one.stable_us
+    # Fewer tenants over the same core count poll faster.
+    assert result.point(4, 2).stable_us < result.point(8, 1).stable_us
+    # Transition + re-alloc are cheap next to polling; everything stays
+    # far below the paper's 800 us ceiling.
+    assert sixteen.unstable_us < sixteen.stable_us * 2.5
+    assert result.max_cost_us() < 800.0

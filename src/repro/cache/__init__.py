@@ -1,0 +1,16 @@
+"""Sliced, way-partitioned LLC simulator with CAT and DDIO semantics."""
+
+from .cat import (CatController, CatError, ClassOfService, is_contiguous,
+                  mask_span, mask_ways, ways_to_mask)
+from .ddio import (DEFAULT_DDIO_WAYS, IIO_LLC_WAYS_MSR, DdioConfig,
+                   ddio_mask_for_ways, default_ddio_mask)
+from .geometry import TINY_LLC, XEON_6140_LLC, CacheGeometry
+from .llc import DDIO_OWNER, EMPTY, AccessOutcome, SlicedLLC
+
+__all__ = [
+    "AccessOutcome", "CacheGeometry", "CatController", "CatError",
+    "ClassOfService", "DdioConfig", "DDIO_OWNER", "DEFAULT_DDIO_WAYS",
+    "EMPTY", "IIO_LLC_WAYS_MSR", "SlicedLLC", "TINY_LLC", "XEON_6140_LLC",
+    "ddio_mask_for_ways", "default_ddio_mask", "is_contiguous", "mask_span",
+    "mask_ways", "ways_to_mask",
+]

@@ -1,0 +1,125 @@
+"""Cache Allocation Technology (CAT) model: classes of service and masks.
+
+Intel RDT exposes LLC partitioning through *classes of service* (CLOS):
+each CLOS holds a capacity bitmask (CBM) of LLC ways, and each core is
+associated with one CLOS.  Hardware enforces two rules this module
+validates (paper Sec. II-A and footnote 1):
+
+* a CBM must select at least one way, and
+* the selected ways must be consecutive.
+
+The paper additionally notes that a core restricted to a CBM can still
+*hit* in any way — that behaviour lives in :mod:`repro.cache.llc`; this
+module is pure bookkeeping, mirroring what the pqos library does on real
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def ways_to_mask(first_way: int, count: int) -> int:
+    """Bitmask selecting ``count`` consecutive ways starting at ``first_way``."""
+    if first_way < 0 or count < 1:
+        raise ValueError("need first_way >= 0 and count >= 1")
+    return ((1 << count) - 1) << first_way
+
+
+def mask_ways(mask: int) -> "list[int]":
+    """Way indices selected by ``mask``, ascending."""
+    return [i for i in range(mask.bit_length()) if mask >> i & 1]
+
+
+def is_contiguous(mask: int) -> bool:
+    """True if the set bits of ``mask`` form one consecutive run."""
+    if mask <= 0:
+        return False
+    shifted = mask >> (mask & -mask).bit_length() - 1
+    return (shifted & (shifted + 1)) == 0
+
+
+def mask_span(mask: int) -> "tuple[int, int]":
+    """``(lowest_way, way_count)`` of a contiguous mask."""
+    if not is_contiguous(mask):
+        raise ValueError(f"mask {mask:#x} is not contiguous")
+    low = (mask & -mask).bit_length() - 1
+    return low, bin(mask).count("1")
+
+
+class CatError(ValueError):
+    """Raised for CBM or association violations."""
+
+
+@dataclass
+class ClassOfService:
+    """One CLOS: an id and its current capacity bitmask."""
+
+    cos_id: int
+    mask: int
+
+
+@dataclass
+class CatController:
+    """Software model of the CAT MSR surface.
+
+    Tracks CLOS masks and core->CLOS association, enforcing the hardware
+    CBM rules.  ``num_ways`` bounds every mask.  CLOS 0 is the default
+    class every core starts in, with the full mask — matching RDT reset
+    state.
+    """
+
+    num_ways: int
+    num_cos: int = 16
+    _cos: "dict[int, ClassOfService]" = field(default_factory=dict)
+    _assoc: "dict[int, int]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_ways < 1:
+            raise CatError("num_ways must be >= 1")
+        full = (1 << self.num_ways) - 1
+        for cos_id in range(self.num_cos):
+            self._cos[cos_id] = ClassOfService(cos_id, full)
+
+    # -- CBM programming ------------------------------------------------
+    def set_mask(self, cos_id: int, mask: int) -> None:
+        self._check_cos(cos_id)
+        self.validate_mask(mask)
+        self._cos[cos_id].mask = mask
+
+    def get_mask(self, cos_id: int) -> int:
+        self._check_cos(cos_id)
+        return self._cos[cos_id].mask
+
+    def validate_mask(self, mask: int) -> None:
+        if mask == 0:
+            raise CatError("CBM must select at least one way")
+        if mask >> self.num_ways:
+            raise CatError(
+                f"CBM {mask:#x} exceeds the {self.num_ways}-way cache")
+        if not is_contiguous(mask):
+            raise CatError(f"CBM {mask:#x} must be contiguous")
+
+    # -- Core association -----------------------------------------------
+    def associate(self, core: int, cos_id: int) -> None:
+        self._check_cos(cos_id)
+        if core < 0:
+            raise CatError("core ids are non-negative")
+        self._assoc[core] = cos_id
+
+    def cos_of(self, core: int) -> int:
+        return self._assoc.get(core, 0)
+
+    def mask_of_core(self, core: int) -> int:
+        return self._cos[self.cos_of(core)].mask
+
+    def reset(self) -> None:
+        """Return every CLOS to the full mask and clear associations."""
+        full = (1 << self.num_ways) - 1
+        for cos in self._cos.values():
+            cos.mask = full
+        self._assoc.clear()
+
+    def _check_cos(self, cos_id: int) -> None:
+        if cos_id not in self._cos:
+            raise CatError(f"CLOS {cos_id} out of range (have {self.num_cos})")

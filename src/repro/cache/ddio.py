@@ -1,0 +1,76 @@
+"""DDIO way-mask configuration (the ``IIO_LLC_WAYS`` register model).
+
+On real Skylake-SP hardware, the set of LLC ways DDIO may *write
+allocate* into is a bitmask in an undocumented MSR (0xC8B, per the
+released iat-pqos artifact).  By default the top two ways are enabled.
+IAT resizes this mask at runtime.
+
+This module keeps the mask semantics in one place: the default mask,
+validation (contiguous, within geometry, at least one way), and helpers
+to grow/shrink the mask from the top of the cache downward — matching
+how hardware anchors the DDIO ways at the high way indices (paper
+Fig. 1: Way N-1 and Way N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cat import is_contiguous, mask_span, ways_to_mask
+from .geometry import CacheGeometry
+
+#: MSR number of the DDIO way mask on Skylake-SP (from the iat-pqos fork).
+IIO_LLC_WAYS_MSR = 0xC8B
+
+#: Number of ways DDIO uses out of the box.
+DEFAULT_DDIO_WAYS = 2
+
+
+def default_ddio_mask(geometry: CacheGeometry) -> int:
+    """Factory-default DDIO mask: the top two ways."""
+    return ddio_mask_for_ways(geometry, DEFAULT_DDIO_WAYS)
+
+
+def ddio_mask_for_ways(geometry: CacheGeometry, count: int) -> int:
+    """Mask of ``count`` ways anchored at the top of the cache."""
+    if not 1 <= count <= geometry.ways:
+        raise ValueError(
+            f"DDIO way count {count} outside 1..{geometry.ways}")
+    return ways_to_mask(geometry.ways - count, count)
+
+
+@dataclass
+class DdioConfig:
+    """Mutable DDIO state shared between the MSR model and the LLC users."""
+
+    geometry: CacheGeometry
+    mask: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mask == 0:
+            self.mask = default_ddio_mask(self.geometry)
+        self.validate(self.mask)
+
+    def validate(self, mask: int) -> None:
+        if mask == 0:
+            raise ValueError("DDIO mask must select at least one way")
+        if mask >> self.geometry.ways:
+            raise ValueError("DDIO mask exceeds cache geometry")
+        if not is_contiguous(mask):
+            raise ValueError("DDIO mask must be contiguous")
+
+    @property
+    def way_count(self) -> int:
+        return bin(self.mask).count("1")
+
+    def set_ways(self, count: int) -> None:
+        """Program the mask to ``count`` top-anchored ways."""
+        self.mask = ddio_mask_for_ways(self.geometry, count)
+
+    def set_mask(self, mask: int) -> None:
+        self.validate(mask)
+        self.mask = mask
+
+    def span(self) -> "tuple[int, int]":
+        """``(lowest_way, count)`` of the current mask."""
+        return mask_span(self.mask)

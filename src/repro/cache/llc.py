@@ -1,0 +1,204 @@
+"""Way-partitioned, sliced, LRU last-level cache simulator.
+
+This is the substrate for everything in the reproduction.  It implements
+the two hardware behaviours the paper's mechanics depend on:
+
+* **CAT semantics** (paper footnote 1): an agent may only *allocate*
+  (fill) lines into the ways its class-of-service mask selects, but a
+  lookup *hits* in any way.
+* **DDIO semantics** (paper Sec. II-B): an inbound device write performs an
+  LLC lookup; if the line is present it is updated in place (*write
+  update*, counted as a DDIO hit); if absent it is allocated into the DDIO
+  way mask (*write allocate*, counted as a DDIO miss), evicting an LRU
+  victim from those ways.  A device read never allocates.
+
+The replacement policy is true LRU within the permitted ways, with
+eviction preferring invalid ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .geometry import CacheGeometry
+
+#: Sentinel tag marking an invalid (empty) way.
+EMPTY = -1
+
+#: Owner id used for lines brought in by DDIO.
+DDIO_OWNER = -2
+
+
+@lru_cache(maxsize=4096)
+def _ways_of_mask(mask: int) -> "tuple[int, ...]":
+    """Way indices selected by a bitmask, cached per distinct mask."""
+    return tuple(i for i in range(mask.bit_length()) if mask >> i & 1)
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of a single cache access.
+
+    ``hit``          the line was present.
+    ``fill``         a line was allocated (miss with allocation).
+    ``evicted``      a valid line was displaced to make room.
+    ``writeback``    the displaced line was dirty (memory write needed).
+    ``victim_owner`` owner id of the displaced line (or ``None``).
+    """
+
+    hit: bool
+    fill: bool = False
+    evicted: bool = False
+    writeback: bool = False
+    victim_owner: "int | None" = None
+
+
+#: Shared immutable outcome for the common hit case (avoids allocation
+#: in the hot loop).
+HIT = AccessOutcome(hit=True)
+
+
+class SlicedLLC:
+    """Cacheline-accurate sliced LLC with per-way owner tracking.
+
+    Owners are small integers identifying the agent (tenant id or
+    ``DDIO_OWNER``) that allocated each line; they feed occupancy
+    introspection (used by tests and the Fig. 11 timeline) and victim
+    attribution.
+
+    ``policy`` selects the replacement policy within the permitted
+    ways: ``"lru"`` (default, what the paper's analysis assumes) or
+    ``"random"`` (a cheaper hardware policy, available for ablations —
+    real Skylake LLCs use an adaptive policy between the two).
+    """
+
+    def __init__(self, geometry: CacheGeometry, *,
+                 policy: str = "lru", seed: int = 11) -> None:
+        if policy not in ("lru", "random"):
+            raise ValueError(f"unknown replacement policy {policy!r}")
+        self.geometry = geometry
+        self.policy = policy
+        nsets, nways = geometry.total_sets, geometry.ways
+        # One flat list per set keeps the per-access work at a C-speed
+        # ``list.index`` plus a tiny scan of <= `ways` entries.
+        self._tags = [[EMPTY] * nways for _ in range(nsets)]
+        self._stamp = [[0] * nways for _ in range(nsets)]
+        self._dirty = [[False] * nways for _ in range(nsets)]
+        self._owner = [[0] * nways for _ in range(nsets)]
+        self._clock = 0
+        # Cheap deterministic LCG for the random policy (avoids numpy
+        # overhead in the per-access hot path).
+        self._rand_state = seed or 1
+
+    # ------------------------------------------------------------------
+    # Core access paths
+    # ------------------------------------------------------------------
+    def access(self, addr: int, mask: int, *, write: bool = False,
+               owner: int = 0, allocate: bool = True) -> AccessOutcome:
+        """Access one cacheline address on behalf of ``owner``.
+
+        ``mask`` is the CAT way mask governing *allocation*; hits are
+        honoured in any way.  With ``allocate=False`` a miss does not fill
+        (used for device reads).
+        """
+        index, tag = self.geometry.frame_index(addr)
+        tags = self._tags[index]
+        self._clock += 1
+        try:
+            way = tags.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            self._stamp[index][way] = self._clock
+            if write:
+                self._dirty[index][way] = True
+            return HIT
+        if not allocate:
+            return AccessOutcome(hit=False)
+        return self._fill(index, tag, mask, write=write, owner=owner)
+
+    def ddio_write(self, addr: int, ddio_mask: int) -> AccessOutcome:
+        """Inbound device write: write update on hit, else write allocate.
+
+        Returns an outcome whose ``hit`` flag distinguishes the two DDIO
+        counter events (hit = write update, miss = write allocate).
+        """
+        return self.access(addr, ddio_mask, write=True, owner=DDIO_OWNER)
+
+    def device_read(self, addr: int) -> AccessOutcome:
+        """Outbound device read: served from LLC if present, never fills."""
+        return self.access(addr, 0, allocate=False)
+
+    # ------------------------------------------------------------------
+    # Fill / eviction
+    # ------------------------------------------------------------------
+    def _fill(self, index: int, tag: int, mask: int, *, write: bool,
+              owner: int) -> AccessOutcome:
+        if mask == 0:
+            raise ValueError("cannot allocate with an empty way mask")
+        allowed = _ways_of_mask(mask & self.geometry.full_mask)
+        if not allowed:
+            raise ValueError("way mask selects no ways within geometry")
+        tags = self._tags[index]
+        stamps = self._stamp[index]
+        victim = -1
+        victim_stamp = None
+        for way in allowed:
+            if tags[way] == EMPTY:
+                victim = way
+                victim_stamp = None
+                break
+            if victim_stamp is None or stamps[way] < victim_stamp:
+                victim = way
+                victim_stamp = stamps[way]
+        if victim_stamp is not None and self.policy == "random":
+            # No invalid way: pick uniformly among the permitted ways.
+            # Use the LCG's high bits — its low bits cycle with a tiny
+            # period and would degenerate into round-robin.
+            self._rand_state = (self._rand_state * 1103515245 + 12345) \
+                & 0x7FFFFFFF
+            victim = allowed[(self._rand_state >> 16) % len(allowed)]
+        evicted = tags[victim] != EMPTY
+        writeback = evicted and self._dirty[index][victim]
+        victim_owner = self._owner[index][victim] if evicted else None
+        tags[victim] = tag
+        stamps[victim] = self._clock
+        self._dirty[index][victim] = write
+        self._owner[index][victim] = owner
+        return AccessOutcome(hit=False, fill=True, evicted=evicted,
+                             writeback=writeback, victim_owner=victim_owner)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, Fig. 11 timeline, debugging)
+    # ------------------------------------------------------------------
+    def contains(self, addr: int) -> bool:
+        index, tag = self.geometry.frame_index(addr)
+        return tag in self._tags[index]
+
+    def way_of(self, addr: int) -> "int | None":
+        index, tag = self.geometry.frame_index(addr)
+        try:
+            return self._tags[index].index(tag)
+        except ValueError:
+            return None
+
+    def occupancy_by_owner(self) -> "dict[int, int]":
+        """Valid-line counts per owner id across the whole cache."""
+        counts: "dict[int, int]" = {}
+        for tags, owners in zip(self._tags, self._owner):
+            for tag, owner in zip(tags, owners):
+                if tag != EMPTY:
+                    counts[owner] = counts.get(owner, 0) + 1
+        return counts
+
+    def valid_lines(self) -> int:
+        return sum(1 for tags in self._tags for tag in tags if tag != EMPTY)
+
+    def flush(self) -> None:
+        """Invalidate every line (no writeback accounting)."""
+        nways = self.geometry.ways
+        for index in range(len(self._tags)):
+            self._tags[index] = [EMPTY] * nways
+            self._dirty[index] = [False] * nways
+        self._clock = 0

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Three subcommands:
+
+* ``repro figures`` — list the reproducible figures.
+* ``repro figure <id> [--fast]`` — regenerate one figure's table
+  (``--fast`` shrinks sweeps/durations for a quick look).
+* ``repro daemon --tenants FILE [--backend sim|linux]`` — run the IAT
+  daemon against a tenant affiliation file.  The ``linux`` backend
+  drives real MSRs (root + the msr module required — untested here, see
+  DESIGN.md); the default ``sim`` backend runs a self-contained demo
+  scenario so the daemon's decisions can be observed anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (ext_ddio, fig03_ring_size, fig04_latent_contender,
+                          fig08_leaky_dma, fig09_flow_scaling, fig10_shuffle,
+                          fig11_timeline, fig12_exec_time,
+                          fig13_rocksdb_latency, fig14_redis_ycsb,
+                          fig15_overhead, sensitivity)
+
+#: figure id -> (description, full runner, fast runner)
+FIGURES = {
+    "fig3": ("RFC2544 zero-loss throughput vs Rx ring size",
+             lambda: fig03_ring_size.format_table(fig03_ring_size.run()),
+             lambda: fig03_ring_size.format_table(fig03_ring_size.run(
+                 ring_sizes=(64, 1024), packet_sizes=(64,),
+                 measure_s=2.2, warmup_s=0.4, max_trials=5))),
+    "fig4": ("X-Mem vs DDIO way overlap (Latent Contender)",
+             lambda: fig04_latent_contender.format_table(
+                 fig04_latent_contender.run()),
+             lambda: fig04_latent_contender.format_table(
+                 fig04_latent_contender.run(working_sets_mb=(4, 16),
+                                            warmup_s=1.0, measure_s=1.5))),
+    "fig8": ("Leaky DMA: DDIO hit/miss, memory BW, OVS IPC/CPP",
+             lambda: fig08_leaky_dma.format_table(fig08_leaky_dma.run()),
+             lambda: fig08_leaky_dma.format_table(fig08_leaky_dma.run(
+                 packet_sizes=(64, 1500), duration_s=6.0, warmup_s=3.0))),
+    "fig9": ("OVS under growing flow counts (Core Demand)",
+             lambda: fig09_flow_scaling.format_table(
+                 fig09_flow_scaling.run()),
+             lambda: fig09_flow_scaling.format_table(fig09_flow_scaling.run(
+                 flow_counts=(1, 1_000_000), duration_s=6.0,
+                 warmup_s=3.0))),
+    "fig10": ("Four-policy Latent Contender comparison",
+              lambda: fig10_shuffle.format_table(fig10_shuffle.run()),
+              lambda: fig10_shuffle.format_table(fig10_shuffle.run(
+                  packet_sizes=(1500,)))),
+    "fig11": ("LLC allocation timeline with IAT",
+              lambda: fig11_timeline.format_timeline(fig11_timeline.run()),
+              lambda: fig11_timeline.format_timeline(fig11_timeline.run(
+                  t_grow=2.0, t_ddio=6.0, t_end=9.0))),
+    "fig12": ("App slowdown co-run with Redis/FastClick",
+              lambda: fig12_exec_time.format_table(fig12_exec_time.run()),
+              lambda: fig12_exec_time.format_table(fig12_exec_time.run(
+                  scenarios=("kvs",), apps=("mcf", "gcc"), seeds=(0, 1),
+                  warmup_s=1.0, measure_s=1.5))),
+    "fig13": ("RocksDB normalized weighted latency",
+              lambda: fig13_rocksdb_latency.format_table(
+                  fig13_rocksdb_latency.run()),
+              lambda: fig13_rocksdb_latency.format_table(
+                  fig13_rocksdb_latency.run(scenarios=("kvs",),
+                                            letters=("C",), seeds=(0, 1),
+                                            warmup_s=1.0, measure_s=1.5))),
+    "fig14": ("Redis YCSB degradation",
+              lambda: fig14_redis_ycsb.format_table(fig14_redis_ycsb.run()),
+              lambda: fig14_redis_ycsb.format_table(fig14_redis_ycsb.run(
+                  letters=("C",), seeds=(0, 1), warmup_s=1.0,
+                  measure_s=1.5))),
+    "fig15": ("IAT daemon per-iteration cost",
+              lambda: fig15_overhead.format_table(fig15_overhead.run()),
+              lambda: fig15_overhead.format_table(fig15_overhead.run(
+                  one_core_counts=(1, 4, 16), two_core_counts=(2,),
+                  iterations=20))),
+    "ext-ddio": ("Sec. VII extension: device-/app-aware DDIO",
+                 lambda: ext_ddio.format_table(ext_ddio.run()),
+                 lambda: ext_ddio.format_table(ext_ddio.run(
+                     duration_s=4.0, warmup_s=2.0))),
+    "sensitivity": ("IAT parameter-sensitivity sweep (Sec. VI-A remark)",
+                    lambda: sensitivity.format_table(sensitivity.run()),
+                    lambda: sensitivity.format_table(sensitivity.run(
+                        sweeps={"threshold_stable": (0.03, 0.10)},
+                        duration_s=6.0, warmup_s=3.0))),
+}
+
+
+def _cmd_figures(_args) -> int:
+    width = max(len(name) for name in FIGURES)
+    for name, (description, _, _) in FIGURES.items():
+        print(f"{name:<{width}}  {description}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    entry = FIGURES.get(args.id)
+    if entry is None:
+        print(f"unknown figure {args.id!r}; try 'repro figures'",
+              file=sys.stderr)
+        return 2
+    _, full, fast = entry
+    print((fast if args.fast else full)())
+    return 0
+
+
+def _cmd_daemon(args) -> int:
+    from .core import ControlPlane, IATDaemon, IATParams
+    from .tenants.registry import TenantRegistry
+
+    registry = TenantRegistry(args.tenants)
+    tenants = registry.load()
+    params = IATParams(interval_s=args.interval)
+
+    if args.backend == "linux":
+        from .perf.hw import HwPqos
+        from .perf.msr import LinuxMsr
+        msrs = {core: LinuxMsr(core) for core in tenants.all_cores}
+        pqos = HwPqos(msr_of=msrs)
+        control = ControlPlane(pqos, tenants, time_scale=1.0,
+                               registry=registry)
+        daemon = IATDaemon(control, params)
+        daemon.on_start(0.0)
+        import time as _time
+        print(f"IAT daemon on real MSRs, interval {args.interval}s; ^C "
+              "to stop")
+        iteration = 0
+        try:
+            while args.iterations == 0 or iteration < args.iterations:
+                _time.sleep(args.interval)
+                iteration += 1
+                daemon.on_interval(iteration * args.interval)
+                entry = daemon.history[-1]
+                print(f"[{iteration}] {entry.state.value} "
+                      f"ddio={entry.ddio_ways} {entry.action}")
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    # Simulated backend: demo scenario driven by the tenants file's I/O
+    # tenants (each gets a line-rate VF) with the daemon attached.
+    from .net import TrafficSpec
+    from .sim import Platform, Simulation, XEON_6140
+    from .workloads import TestPmd, XMem
+
+    platform = Platform(XEON_6140)
+    sim = Simulation(platform)
+    nic = platform.add_nic("nic0", 40.0)
+    for tenant in tenants:
+        if tenant.is_io or tenant.is_stack:
+            vf = nic.add_vf(name=f"{tenant.name}.vf")
+            sim.add_tenant(tenant, TestPmd(tenant.name, [vf.rx_ring]))
+            sim.attach_traffic(nic, vf, TrafficSpec.line_rate(
+                40.0, args.packet_size, scale=platform.spec.time_scale))
+        else:
+            sim.add_tenant(tenant, XMem(tenant.name, 8 << 20))
+    control = ControlPlane(platform.pqos, sim.tenant_set(),
+                           time_scale=platform.spec.time_scale)
+    daemon = IATDaemon(control, params)
+    sim.add_controller(daemon)
+    sim.run(args.duration)
+    for entry in daemon.history:
+        print(f"t={entry.time:6.1f}s {entry.state.value:12s} "
+              f"ddio={entry.ddio_ways} ways={entry.group_ways} "
+              f"{entry.action}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IAT (ISCA 2021) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list reproducible figures") \
+        .set_defaults(func=_cmd_figures)
+
+    figure = sub.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("id", help="figure id (see 'repro figures')")
+    figure.add_argument("--fast", action="store_true",
+                        help="reduced sweep for a quick look")
+    figure.set_defaults(func=_cmd_figure)
+
+    daemon = sub.add_parser("daemon", help="run the IAT daemon")
+    daemon.add_argument("--tenants", required=True,
+                        help="tenant affiliation file (see Sec. V format)")
+    daemon.add_argument("--backend", choices=("sim", "linux"),
+                        default="sim")
+    daemon.add_argument("--interval", type=float, default=1.0,
+                        help="sleep interval seconds (Table II: 1.0)")
+    daemon.add_argument("--duration", type=float, default=10.0,
+                        help="simulated seconds (sim backend)")
+    daemon.add_argument("--packet-size", type=int, default=1500,
+                        help="traffic packet size (sim backend)")
+    daemon.add_argument("--iterations", type=int, default=0,
+                        help="stop after N intervals (linux backend; "
+                             "0 = run until ^C)")
+    daemon.set_defaults(func=_cmd_daemon)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

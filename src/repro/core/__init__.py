@@ -1,0 +1,20 @@
+"""IAT: the paper's I/O-aware LLC management mechanism."""
+
+from .allocator import Layout, WayAllocator, pack_bottom_up, plan_layout
+from .control import ControlPlane
+from .daemon import IATDaemon, IterationLog, IterationTiming
+from .fsm import INITIAL_STATE, Signals, State, next_state
+from .monitor import (ChangeKind, ChangeReport, ProfMonitor, SystemSample,
+                      TenantSample, rel_change)
+from .params import IATParams
+from .policies import CoreOnlyPolicy, IOIsoPolicy, ReactivePolicy, StaticPolicy
+from .shuffler import group_refs, placement_order, share_tenant
+
+__all__ = [
+    "ChangeKind", "ChangeReport", "ControlPlane", "CoreOnlyPolicy",
+    "IATDaemon", "IATParams", "INITIAL_STATE", "IOIsoPolicy", "IterationLog",
+    "IterationTiming", "Layout", "ProfMonitor", "ReactivePolicy", "Signals",
+    "State", "StaticPolicy", "SystemSample", "TenantSample", "WayAllocator",
+    "group_refs", "next_state", "pack_bottom_up", "placement_order",
+    "plan_layout", "rel_change", "share_tenant",
+]

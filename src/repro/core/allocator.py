@@ -1,0 +1,174 @@
+"""LLC Re-alloc: way-count bookkeeping and layout planning (Sec. IV-D).
+
+Two concerns live here:
+
+* **Way counts** — how many ways DDIO and each allocation group
+  currently deserve.  Grown/shrunk one way per iteration (the paper's
+  default; a UCP-style multi-way increment is available as
+  ``increment_mode="ucp"``).  An *allocation group* is one tenant, or a
+  set of tenants sharing a mask (``Tenant.share_group``).
+* **Layout planning** — turning way counts plus a bottom-up group order
+  into concrete contiguous CAT masks.  Groups are packed from way 0
+  upward and DDIO is anchored at the top ways; when the demands exceed
+  the cache, the topmost groups are clamped against the top and overlap
+  DDIO — so whoever the shuffler placed last is the one sharing ways
+  with the I/O.  Idle ways (if any) naturally form the gap just below
+  DDIO, satisfying "avoid any core-I/O sharing of LLC ways if LLC ways
+  have not been fully allocated".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cache.cat import ways_to_mask
+from ..tenants.tenant import Tenant, TenantSet
+from .params import IATParams
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Concrete masks for one allocation epoch, keyed by group."""
+
+    group_masks: "dict[str, int]"
+    ddio_mask: int
+
+    def mask_of(self, tenant: Tenant) -> int:
+        return self.group_masks[tenant.group]
+
+    def overlap_groups(self) -> "set[str]":
+        """Groups whose mask shares at least one way with DDIO."""
+        return {group for group, mask in self.group_masks.items()
+                if mask & self.ddio_mask}
+
+    def overlap_tenants(self, tenants: TenantSet) -> "set[str]":
+        overlapping = self.overlap_groups()
+        return {t.name for t in tenants if t.group in overlapping}
+
+    def used_mask(self) -> int:
+        used = self.ddio_mask
+        for mask in self.group_masks.values():
+            used |= mask
+        return used
+
+
+def pack_bottom_up(order: "list[tuple[str, int]]", limit_ways: int,
+                   total_ways: int) -> "dict[str, int]":
+    """Pack ``(group, way_count)`` entries upward within ``limit_ways``.
+
+    Entries that would spill past the limit are clamped against it (and
+    so overlap their predecessors).  ``limit_ways < total_ways`` models
+    I/O-isolated pools that exclude the DDIO ways.
+    """
+    if not 1 <= limit_ways <= total_ways:
+        raise ValueError("limit_ways outside 1..total_ways")
+    masks: "dict[str, int]" = {}
+    cursor = 0
+    for name, count in order:
+        if not 1 <= count <= limit_ways:
+            raise ValueError(f"group {name!r} wants {count} ways "
+                             f"(pool has {limit_ways})")
+        start = min(cursor, limit_ways - count)
+        masks[name] = ways_to_mask(start, count)
+        cursor = start + count
+    return masks
+
+
+def plan_layout(num_ways: int, ddio_ways: int,
+                order: "list[tuple[str, int]]", *,
+                io_isolated: bool = False) -> Layout:
+    """Pack groups bottom-up and DDIO top-down into ``num_ways``.
+
+    With ``io_isolated`` the core pool excludes the DDIO ways entirely
+    (the I/O-iso comparison policy of Sec. VI-B).
+    """
+    if not 1 <= ddio_ways <= num_ways:
+        raise ValueError(f"ddio_ways {ddio_ways} outside 1..{num_ways}")
+    limit = num_ways - ddio_ways if io_isolated else num_ways
+    if limit < 1:
+        raise ValueError("io-isolated pool is empty")
+    masks = pack_bottom_up(order, limit, num_ways)
+    ddio_mask = ways_to_mask(num_ways - ddio_ways, ddio_ways)
+    return Layout(group_masks=masks, ddio_mask=ddio_mask)
+
+
+@dataclass
+class WayAllocator:
+    """Tracks the way counts IAT has granted to DDIO and each group."""
+
+    num_ways: int
+    params: IATParams
+    group_ways: "dict[str, int]" = field(default_factory=dict)
+    ddio_ways: int = 2  # hardware default until a state action runs
+
+    @classmethod
+    def for_tenants(cls, num_ways: int, params: IATParams,
+                    tenants: TenantSet) -> "WayAllocator":
+        alloc = cls(num_ways=num_ways, params=params)
+        for group in tenants.group_names():
+            members = tenants.group_members(group)
+            count = max(max(1, t.initial_ways) for t in members)
+            alloc.group_ways[group] = min(count, num_ways)
+        return alloc
+
+    # -- DDIO ------------------------------------------------------------
+    @property
+    def ddio_at_max(self) -> bool:
+        return self.ddio_ways >= self.params.ddio_ways_max
+
+    @property
+    def ddio_at_min(self) -> bool:
+        return self.ddio_ways <= self.params.ddio_ways_min
+
+    def grow_ddio(self, *, step: int = 1) -> bool:
+        """I/O Demand action; returns True if the mask actually grew."""
+        target = min(self.ddio_ways + step, self.params.ddio_ways_max)
+        changed = target != self.ddio_ways
+        self.ddio_ways = target
+        return changed
+
+    def shrink_ddio(self, *, step: int = 1) -> bool:
+        target = max(self.ddio_ways - step, self.params.ddio_ways_min)
+        changed = target != self.ddio_ways
+        self.ddio_ways = target
+        return changed
+
+    def clamp_ddio_min(self) -> bool:
+        """Low Keep action: pin DDIO at the minimum way count."""
+        changed = self.ddio_ways != self.params.ddio_ways_min
+        self.ddio_ways = self.params.ddio_ways_min
+        return changed
+
+    # -- Groups -----------------------------------------------------------
+    def grow_group(self, group: str, *, step: int = 1) -> bool:
+        current = self.group_ways[group]
+        cap = min(self.params.tenant_ways_max, self.num_ways - 1)
+        target = min(current + step, cap)
+        self.group_ways[group] = target
+        return target != current
+
+    def shrink_group(self, group: str, *, floor: int = 1,
+                     step: int = 1) -> bool:
+        current = self.group_ways[group]
+        target = max(current - step, max(1, floor))
+        self.group_ways[group] = target
+        return target != current
+
+    def increment_step(self, miss_rate_delta_pp: float) -> int:
+        """Ways to add this iteration.
+
+        The paper default adds one way per iteration; ``"ucp"`` mode
+        approximates UCP's miss-curve guidance by taking two ways when
+        the miss-rate jump is steep (> 10 percentage points).
+        """
+        if self.params.increment_mode == "ucp" and miss_rate_delta_pp > 10.0:
+            return 2
+        return 1
+
+    # -- Layout --------------------------------------------------------------
+    def layout(self, order: "list[str]", *,
+               io_isolated: bool = False) -> Layout:
+        """Plan masks for the given bottom-up group order."""
+        sequence = [(group, self.group_ways[group]) for group in order]
+        return plan_layout(self.num_ways, self.ddio_ways, sequence,
+                           io_isolated=io_isolated)

@@ -1,0 +1,37 @@
+"""The control-plane boundary between IAT and the machine.
+
+Everything the daemon can observe or actuate goes through this object:
+the pqos facade (monitoring + CAT + DDIO MSR) and the tenant set.  The
+simulator builds it from simulated devices; a real deployment would
+build it from :class:`repro.perf.msr.LinuxMsr` and a real pqos binding —
+the daemon code is identical either way, which is the point: IAT is a
+wrapper-style control loop over RDT primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perf.pqos import PqosLib
+from ..tenants.registry import TenantRegistry
+from ..tenants.tenant import TenantSet
+
+
+@dataclass
+class ControlPlane:
+    """Handles the daemon needs to run against any backend."""
+
+    pqos: PqosLib
+    tenants: TenantSet
+    #: Rate scale of the platform behind ``pqos`` (1.0 on real hardware).
+    time_scale: float = 1.0
+    #: Optional file-backed registry; when present, the daemon re-reads
+    #: tenant info after each sleep if the file changed (Sec. IV-E).
+    registry: "TenantRegistry | None" = None
+
+    def refresh_tenants(self) -> bool:
+        """Reload tenants from the registry if it changed."""
+        if self.registry is None or not self.registry.changed():
+            return False
+        self.tenants = self.registry.load()
+        return True

@@ -1,0 +1,376 @@
+"""The IAT daemon: the paper's six-step control loop (Sec. IV, Fig. 5).
+
+    Get Tenant Info -> LLC Alloc -> [ Poll Prof Data -> State Transition
+    -> LLC Re-alloc -> Sleep ] ...
+
+The daemon is backend-agnostic: it sees the machine only through a
+:class:`~repro.core.control.ControlPlane`.  The simulation engine calls
+:meth:`on_interval` once per sleep interval (1 s, Table II).
+
+Feature flags reproduce the paper's ablations exactly:
+
+* ``manage_ddio=False`` — Sec. VI-B footnote 3 (the Latent Contender
+  experiment isolates shuffling by freezing the DDIO way count);
+* ``manage_tenant_ways=False`` — Sec. VI-C ("temporarily disable IAT's
+  functionality of assigning more/less LLC ways for tenants, but the
+  ways ... will still be shuffled");
+* ``shuffle=False`` — used by the Core-only comparison policy.
+
+Per-iteration execution time is tracked two ways for Fig. 15: the
+modelled MSR/context-switch cost from the pqos facade (comparable to
+the paper's absolute microseconds) and actual wall-clock time of the
+Python loop.  Stable iterations (poll only) and unstable iterations
+(poll + transition + re-alloc) are recorded separately, as in Fig. 15.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .allocator import Layout, WayAllocator
+from .control import ControlPlane
+from .fsm import INITIAL_STATE, State, next_state
+from .monitor import ChangeKind, ChangeReport, ProfMonitor
+from .params import IATParams
+from .shuffler import placement_order
+
+
+@dataclass
+class IterationTiming:
+    """One interval's cost, split like Fig. 15."""
+
+    stable: bool
+    modelled_us: float
+    wall_us: float
+
+
+@dataclass
+class IterationLog:
+    """What the daemon saw and did in one interval (for Fig. 11 etc.)."""
+
+    time: float
+    state: State
+    kind: ChangeKind
+    ddio_ways: int
+    group_ways: "dict[str, int]"
+    action: str
+
+
+class IATDaemon:
+    """I/O-aware LLC management daemon."""
+
+    def __init__(self, control: ControlPlane,
+                 params: "IATParams | None" = None, *,
+                 manage_ddio: bool = True,
+                 manage_tenant_ways: bool = True,
+                 shuffle: bool = True) -> None:
+        self.control = control
+        self.params = params or IATParams()
+        self.manage_ddio = manage_ddio
+        self.manage_tenant_ways = manage_tenant_ways
+        self.shuffle = shuffle
+        self.interval_s = self.params.interval_s
+        self.state = INITIAL_STATE
+        self.monitor: "ProfMonitor | None" = None
+        self.allocator: "WayAllocator | None" = None
+        self.layout: "Layout | None" = None
+        self._order: "list[str]" = []
+        self._last_refs: "dict[str, int]" = {}
+        self._growing: "set[str]" = set()
+        self.timings: "list[IterationTiming]" = []
+        self.history: "list[IterationLog]" = []
+
+    # ------------------------------------------------------------------
+    # Steps 1-2: Get Tenant Info + LLC Alloc
+    # ------------------------------------------------------------------
+    def on_start(self, now: float) -> None:
+        self._init_tenants(now)
+
+    def _init_tenants(self, now: float) -> None:
+        control = self.control
+        tenants = control.tenants
+        if self.monitor is not None:
+            self.monitor.close()
+        self.monitor = ProfMonitor(control.pqos, tenants, self.params,
+                                   time_scale=control.time_scale)
+        self.allocator = WayAllocator.for_tenants(
+            control.pqos.num_ways, self.params, tenants)
+        if self.manage_ddio:
+            # Boot in Low Keep: DDIO pinned at the minimum (Sec. IV-C).
+            self.allocator.clamp_ddio_min()
+        else:
+            self.allocator.ddio_ways = control.pqos.ddio_way_count()
+        self.state = INITIAL_STATE
+        self._order = placement_order(tenants)
+        self.layout = None
+        self._apply_layout()
+        self._log(now, ChangeKind.FSM, "init")
+
+    # ------------------------------------------------------------------
+    # Steps 3-5: Poll Prof Data -> State Transition -> LLC Re-alloc
+    # ------------------------------------------------------------------
+    def on_interval(self, now: float) -> None:
+        wall_start = time.perf_counter()
+        control = self.control
+        control.pqos.reset_cost()
+        if control.refresh_tenants():
+            self._init_tenants(now)
+            return
+
+        if not self.manage_ddio:
+            # Track externally controlled DDIO width (e.g. the Fig. 10
+            # script widening DDIO mid-run) so overlap detection and
+            # shuffling see the true mask.
+            width = control.pqos.ddio_way_count()
+            if width != self.allocator.ddio_ways:
+                self.allocator.ddio_ways = width
+                self._apply_layout()
+
+        sample = self.monitor.poll()
+        overlap = (self.layout.overlap_tenants(control.tenants)
+                   if self.layout else set())
+        report = self.monitor.classify(
+            sample, ddio_at_max=self.allocator.ddio_at_max,
+            ddio_at_min=self.allocator.ddio_at_min, ddio_overlap=overlap)
+        self._last_refs = {name: t.llc_references
+                           for name, t in sample.tenants.items()}
+
+        if report.kind in (ChangeKind.STABLE, ChangeKind.IPC_ONLY):
+            self._finish(now, report.kind, "none", stable=True,
+                         wall_start=wall_start)
+            return
+
+        if report.kind is ChangeKind.CORE_SIDE:
+            action = self._core_side_action(report)
+            self._apply_layout()
+            self._finish(now, report.kind, action, stable=False,
+                         wall_start=wall_start)
+            return
+
+        if report.kind is ChangeKind.SHUFFLE_FIRST and self.shuffle:
+            # Special case 3: reshuffle before touching any way counts.
+            self._order = placement_order(control.tenants, self._last_refs)
+            self._apply_layout()
+            self._finish(now, report.kind, "shuffle", stable=False,
+                         wall_start=wall_start)
+            return
+
+        self.state = next_state(self.state, report.signals)
+        action = self._apply_state_action(report)
+        grown = self._continue_growth_sessions(report)
+        if grown:
+            action = f"{action}; {grown}"
+        if self.shuffle:
+            self._order = placement_order(control.tenants, self._last_refs)
+        self._apply_layout()
+        self._finish(now, ChangeKind.FSM, action, stable=False,
+                     wall_start=wall_start)
+
+    # ------------------------------------------------------------------
+    def _core_side_action(self, report: ChangeReport) -> str:
+        """Special case 2 of Sec. IV-B: pure core-side demand, no I/O
+        involvement — "other existing mechanisms can be called to
+        allocate LLC ways for the tenant".  A dCAT-style
+        grow-while-it-helps loop stands in for those mechanisms: a
+        miss-rate jump starts a growth session; each grant continues as
+        long as it keeps lowering the miss rate and the rate is still
+        meaningful; a sustained low rate above the floor is reclaimed.
+        """
+        if not self.manage_tenant_ways or not report.tenant:
+            return "delegate (frozen)"
+        tenant = report.tenant
+        group = self.control.tenants.by_name(tenant).group
+        delta_pp = report.miss_rate_delta.get(tenant, 0.0)
+        rate = report.miss_rate.get(tenant, 0.0)
+        if delta_pp > 1.0 and rate > self.GROWTH_STOP_RATE:
+            self._growing.add(tenant)
+            if self.allocator.grow_group(group):
+                return f"core-side +1 way {group}"
+            return f"core-side {group} at cap"
+        grown = self._continue_growth_sessions(report)
+        if grown:
+            return grown
+        if delta_pp < -1.0 and rate < 0.05:
+            if self.allocator.shrink_group(group,
+                                           floor=self._group_floor(group)):
+                return f"core-side -1 way {group}"
+        return "delegate (no demand)"
+
+    #: Miss rate below which a growth session stops granting ways.
+    GROWTH_STOP_RATE = 0.15
+
+    def _continue_growth_sessions(self, report: ChangeReport) -> str:
+        """Keep granting to tenants in an active growth session while
+        each grant keeps lowering their miss rate meaningfully."""
+        if not self.manage_tenant_ways:
+            return ""
+        actions = []
+        for tenant in sorted(self._growing):
+            rate = report.miss_rate.get(tenant, 0.0)
+            delta_pp = report.miss_rate_delta.get(tenant, 0.0)
+            if rate > self.GROWTH_STOP_RATE and delta_pp < -0.5:
+                group = self.control.tenants.by_name(tenant).group
+                if self.allocator.grow_group(group):
+                    actions.append(f"grow +1 {group}")
+                    continue
+            self._growing.discard(tenant)
+        return ", ".join(actions)
+
+    def _apply_state_action(self, report: ChangeReport) -> str:
+        alloc = self.allocator
+        state = self.state
+        if state is State.LOW_KEEP:
+            if self.manage_ddio and alloc.clamp_ddio_min():
+                return "ddio -> min"
+            return "keep"
+        if state is State.HIGH_KEEP:
+            return "keep(max)"
+        if state is State.IO_DEMAND:
+            if not self.manage_ddio:
+                return "io-demand (ddio frozen)"
+            # UCP-style sizing keys off how steeply the DDIO misses are
+            # climbing (percent change expressed in points).
+            step = alloc.increment_step(report.ddio_miss_delta * 100.0)
+            if alloc.grow_ddio(step=step):
+                return f"ddio +{step}"
+            return "ddio at max"
+        if state is State.CORE_DEMAND:
+            if not self.manage_tenant_ways:
+                return "core-demand (tenant ways frozen)"
+            target = self._select_core_demand_tenant(report)
+            if target is None:
+                return "core-demand (no target)"
+            delta_pp = report.miss_rate_delta.get(target, 0.0)
+            if delta_pp <= 0.5:
+                # Nobody's miss rate is actually rising: granting ways
+                # would be noise-chasing (and would run a group to its
+                # cap in a few intervals).
+                return "core-demand (no rising demand)"
+            group = self.control.tenants.by_name(target).group
+            step = alloc.increment_step(delta_pp)
+            if alloc.grow_group(group, step=step):
+                return f"group +{step} {group}"
+            return f"group at cap {group}"
+        if state is State.RECLAIM:
+            return self._reclaim(report)
+        raise AssertionError(f"unhandled state {state!r}")
+
+    def _select_core_demand_tenant(self, report: ChangeReport) -> "str | None":
+        """Who gets the extra way in Core Demand (Sec. IV-D).
+
+        Aggregation model: the software stack first — its Rx/Tx buffers
+        gate every attached tenant.  Slicing model: the I/O tenant with
+        the largest miss-rate increase (percentage points).
+        """
+        tenants = self.control.tenants
+        stack = tenants.stack
+        if stack is not None:
+            return stack.name
+        candidates = [t.name for t in tenants.io_tenants]
+        if not candidates:
+            return None
+        return max(candidates,
+                   key=lambda name: report.miss_rate_delta.get(name, 0.0))
+
+    def _group_floor(self, group: str) -> int:
+        members = self.control.tenants.group_members(group)
+        return max(max(1, t.initial_ways) for t in members)
+
+    def _group_refs(self, group: str) -> int:
+        members = self.control.tenants.group_members(group)
+        return sum(self._last_refs.get(t.name, 0) for t in members)
+
+    def _group_miss_rate(self, group: str, report: ChangeReport) -> float:
+        members = self.control.tenants.group_members(group)
+        return max((report.miss_rate.get(t.name, 0.0) for t in members),
+                   default=0.0)
+
+    def _reclaim(self, report: ChangeReport) -> str:
+        """Reclaim one way from DDIO (preferred while above the minimum)
+        or from a grown group whose allocation is "more than enough"
+        (Sec. IV-C): low miss rate, smallest LLC reference count first.
+        A grown group that is still missing hard keeps its ways — taking
+        them back would just re-trigger Core Demand next interval."""
+        alloc = self.allocator
+        if self.manage_ddio and not alloc.ddio_at_min:
+            alloc.shrink_ddio()
+            return "ddio -1"
+        if not self.manage_tenant_ways:
+            return "reclaim (frozen)"
+        grown = [group for group, ways in alloc.group_ways.items()
+                 if ways > self._group_floor(group)
+                 and self._group_miss_rate(group, report) < 0.10]
+        if not grown:
+            return "reclaim (nothing to reclaim)"
+        victim = min(grown, key=self._group_refs)
+        alloc.shrink_group(victim, floor=self._group_floor(victim))
+        return f"group -1 {victim}"
+
+    # ------------------------------------------------------------------
+    def _trim_pc_for_isolation(self) -> None:
+        """Keep non-I/O performance-critical groups small enough to fit
+        below the DDIO ways ("the tenants running PC workloads should be
+        isolated from LLC ways for DDIO as much as possible",
+        Sec. IV-D).  Without this, a PC group grown to its cap would be
+        forced into the DDIO region when the mask widens (Fig. 10/11's
+        t=15 s script)."""
+        if not self.manage_tenant_ways:
+            return
+        alloc = self.allocator
+        limit = alloc.num_ways - alloc.ddio_ways
+        if limit < 1:
+            return
+        tenants = self.control.tenants
+        for group, ways in alloc.group_ways.items():
+            members = tenants.group_members(group)
+            pc_non_io = all(t.is_pc and not t.is_io for t in members)
+            if pc_non_io and ways > limit:
+                alloc.group_ways[group] = max(self._group_floor(group),
+                                              limit)
+
+    def _apply_layout(self) -> None:
+        """Plan masks for the current order/counts and program them."""
+        tenants = self.control.tenants
+        self._trim_pc_for_isolation()
+        if self.shuffle:
+            order = self._order
+        else:
+            order = tenants.group_names()
+        layout = self.allocator.layout(order)
+        pqos = self.control.pqos
+        for tenant in tenants:
+            mask = layout.mask_of(tenant)
+            old = (self.layout.group_masks.get(tenant.group)
+                   if self.layout else None)
+            if old != mask:
+                pqos.alloc_set(tenant.cos_id, mask)
+        if self.manage_ddio and (
+                self.layout is None or self.layout.ddio_mask != layout.ddio_mask):
+            pqos.ddio_set_mask(layout.ddio_mask)
+        self.layout = layout
+
+    def _finish(self, now: float, kind: ChangeKind, action: str, *,
+                stable: bool, wall_start: float) -> None:
+        modelled = self.control.pqos.reset_cost()
+        wall = (time.perf_counter() - wall_start) * 1e6
+        self.timings.append(IterationTiming(stable=stable,
+                                            modelled_us=modelled,
+                                            wall_us=wall))
+        self._log(now, kind, action)
+
+    def _log(self, now: float, kind: ChangeKind, action: str) -> None:
+        self.history.append(IterationLog(
+            time=now, state=self.state, kind=kind,
+            ddio_ways=self.allocator.ddio_ways,
+            group_ways=dict(self.allocator.group_ways),
+            action=action))
+
+    # ------------------------------------------------------------------
+    # Reporting (Fig. 15)
+    # ------------------------------------------------------------------
+    def mean_timing_us(self, *, stable: bool,
+                       modelled: bool = True) -> float:
+        values = [t.modelled_us if modelled else t.wall_us
+                  for t in self.timings if t.stable == stable]
+        return sum(values) / len(values) if values else 0.0

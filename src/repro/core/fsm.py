@@ -1,0 +1,123 @@
+"""IAT's system-wide Mealy finite state machine (paper Sec. IV-C, Fig. 6).
+
+Five states:
+
+* **Low Keep** — I/O does not press the LLC; DDIO stays at its minimum
+  way count.  Initial state.
+* **High Keep** — DDIO already holds ``DDIO_WAYS_MAX`` ways; an upper
+  bound so the I/O never competes with cores across the whole LLC.
+* **I/O Demand** — intensive inbound traffic; write allocates (DDIO
+  misses) are frequent because the DDIO ways cannot hold the in-flight
+  data: grow DDIO.
+* **Core Demand** — the contention comes from a memory-hungry
+  application on the cores evicting the Rx buffers (DDIO hits fall,
+  misses rise): grow the selected tenant instead.
+* **Reclaim** — traffic calmed down while DDIO (or a tenant) still
+  holds a mid-level allocation: shrink it back.
+
+Transitions are a pure function of the :class:`Signals` derived from
+counter deltas, so the FSM is trivially property-testable (totality,
+reachability).  Edge numbers in comments follow Fig. 6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class State(enum.Enum):
+    """The five IAT system states of Fig. 6 (described in Sec. IV-C)."""
+
+    LOW_KEEP = "low-keep"
+    HIGH_KEEP = "high-keep"
+    IO_DEMAND = "io-demand"
+    CORE_DEMAND = "core-demand"
+    RECLAIM = "reclaim"
+
+
+#: The state IAT boots in (Sec. IV-C: "initialized from the Low Keep state").
+INITIAL_STATE = State.LOW_KEEP
+
+
+@dataclass(frozen=True)
+class Signals:
+    """Counter-delta predicates feeding one FSM step.
+
+    ``miss_high``   DDIO miss rate above THRESHOLD_MISS_LOW.
+    ``miss_up``     DDIO misses grew significantly vs. last interval.
+    ``miss_down``   DDIO misses shrank significantly.
+    ``hit_up``      DDIO hits grew significantly.
+    ``hit_down``    DDIO hits shrank significantly.
+    ``llc_ref_up``  system-wide LLC references grew significantly.
+    ``at_max_ways`` DDIO already holds DDIO_WAYS_MAX ways.
+    ``at_min_ways`` DDIO already holds DDIO_WAYS_MIN ways.
+    """
+
+    miss_high: bool = False
+    miss_up: bool = False
+    miss_down: bool = False
+    hit_up: bool = False
+    hit_down: bool = False
+    llc_ref_up: bool = False
+    at_max_ways: bool = False
+    at_min_ways: bool = False
+
+    def __post_init__(self) -> None:
+        if self.miss_up and self.miss_down:
+            raise ValueError("miss_up and miss_down are exclusive")
+        if self.hit_up and self.hit_down:
+            raise ValueError("hit_up and hit_down are exclusive")
+
+
+def next_state(state: State, sig: Signals) -> State:
+    """One FSM step.  Total over every (state, signals) pair."""
+    if state is State.LOW_KEEP:
+        if sig.miss_high:
+            if sig.hit_down and sig.llc_ref_up:
+                return State.CORE_DEMAND            # edge 3
+            return State.IO_DEMAND                  # edge 1
+        return State.LOW_KEEP
+
+    # "Significant degradation of DDIO miss" (edges 6, 8, 11) moves to
+    # Reclaim, whose definition is "the I/O traffic is not intensive"
+    # (Sec. IV-C) — so the miss count must also have fallen below
+    # THRESHOLD_MISS_LOW, not merely decreased.  Without this gate the
+    # controller would reclaim a way it granted one interval earlier
+    # while misses are still high, ping-ponging between the states.
+    calmed = sig.miss_down and not sig.miss_high
+
+    if state is State.IO_DEMAND:
+        if sig.hit_down and not sig.miss_down:
+            return State.CORE_DEMAND                # edge 7
+        if calmed:
+            return State.RECLAIM                    # edge 6
+        if sig.miss_high and sig.at_max_ways:
+            return State.HIGH_KEEP                  # edge 10
+        return State.IO_DEMAND
+
+    if state is State.HIGH_KEEP:
+        # High Keep "obeys the same rule" as I/O Demand (edges 11, 12).
+        if sig.hit_down and not sig.miss_down:
+            return State.CORE_DEMAND                # edge 12
+        if calmed:
+            return State.RECLAIM                    # edge 11
+        return State.HIGH_KEEP
+
+    if state is State.CORE_DEMAND:
+        if calmed:
+            return State.RECLAIM                    # edge 8
+        if sig.miss_up and not sig.hit_down:
+            return State.IO_DEMAND                  # edge 4
+        return State.CORE_DEMAND
+
+    if state is State.RECLAIM:
+        if sig.miss_up:
+            if sig.hit_down:
+                return State.CORE_DEMAND            # edge 9
+            return State.IO_DEMAND                  # edge 5
+        if sig.at_min_ways:
+            return State.LOW_KEEP                   # edge 2
+        return State.RECLAIM
+
+    raise AssertionError(f"unhandled state {state!r}")

@@ -1,0 +1,49 @@
+"""IAT tuning parameters (the paper's Table II).
+
+| Name               | Paper value |
+|--------------------|-------------|
+| THRESHOLD_STABLE   | 3%          |
+| THRESHOLD_MISS_LOW | 1M/s        |
+| DDIO_WAYS_MIN/MAX  | 1 / 6       |
+| Sleep interval     | 1 second    |
+
+``threshold_miss_low`` is a *real-time* rate; because the simulator runs
+at ``time_scale`` of real rates, :meth:`IATParams.miss_low_per_interval`
+converts it to a per-interval count for the daemon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IATParams:
+    """All daemon knobs, defaulting to Table II."""
+
+    threshold_stable: float = 0.03
+    threshold_miss_low_per_s: float = 1e6
+    ddio_ways_min: int = 1
+    ddio_ways_max: int = 6
+    interval_s: float = 1.0
+    #: Way-increment policy: "one" (paper default, one way per iteration)
+    #: or "ucp" (miss-curve-guided increments, mentioned in Sec. IV-D as
+    #: an explorable alternative; see the ablation bench).
+    increment_mode: str = "one"
+    #: Cap on ways granted to a single tenant in Core Demand (leave at
+    #: least one way for everyone else).
+    tenant_ways_max: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threshold_stable < 1:
+            raise ValueError("threshold_stable must be a fraction in (0,1)")
+        if self.ddio_ways_min < 1 or self.ddio_ways_max < self.ddio_ways_min:
+            raise ValueError("need 1 <= ddio_ways_min <= ddio_ways_max")
+        if self.interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if self.increment_mode not in ("one", "ucp"):
+            raise ValueError(f"unknown increment mode {self.increment_mode!r}")
+
+    def miss_low_per_interval(self, time_scale: float = 1.0) -> float:
+        """THRESHOLD_MISS_LOW as a count per polling interval."""
+        return self.threshold_miss_low_per_s * time_scale * self.interval_s

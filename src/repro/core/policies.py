@@ -1,0 +1,315 @@
+"""Comparison controllers: baseline, Core-only, and I/O-iso (Sec. VI-B).
+
+The paper evaluates IAT against three stand-ins for the state of the
+art, all reproduced here behind the same :class:`Controller` interface
+the engine drives:
+
+* **StaticPolicy** (baseline) — one allocation at start-up, never
+  revisited.  Figs. 12-14 randomize the initial placement ("the LLC
+  ways allocation ... randomly shuffled"), hence ``shuffle_seed``: a
+  cache-hungry tenant may or may not land on the DDIO ways, producing
+  the wide min-max whiskers of the baseline bars.
+* **CoreOnlyPolicy** — dynamic, miss-driven way allocation *without*
+  I/O awareness (the paper emulates this by "disabling I/O Demand state
+  and LLC shuffling").  It happily treats the DDIO ways as free space,
+  which is the Latent Contender problem in action.
+* **IOIsoPolicy** — Core-only plus a hard exclusion of the DDIO ways
+  from the core pool ([14, 69]'s approach).  When demand exceeds the
+  shrunken pool, groups are clamped against its top and *share* ways
+  ("the PC containers have to share 7-2=5 ways").
+
+Neither reactive policy ever touches the DDIO mask; they re-read its
+width every interval so external changes (the Fig. 10 script raises
+DDIO from two to four ways at t=15 s) are respected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.cat import ways_to_mask
+from ..tenants.tenant import Priority, TenantSet
+from .allocator import Layout, WayAllocator, plan_layout
+from .control import ControlPlane
+from .monitor import rel_change
+from .params import IATParams
+
+
+def _initial_order(tenants: TenantSet,
+                   shuffle_seed: "int | None") -> "list[str]":
+    order = tenants.group_names()
+    if shuffle_seed is not None:
+        rng = np.random.default_rng(shuffle_seed)
+        order = [order[i] for i in rng.permutation(len(order))]
+    return order
+
+
+def _apply_group_masks(control: ControlPlane, layout: Layout,
+                       previous: "Layout | None") -> None:
+    for tenant in control.tenants:
+        mask = layout.mask_of(tenant)
+        old = previous.group_masks.get(tenant.group) if previous else None
+        if old != mask:
+            control.pqos.alloc_set(tenant.cos_id, mask)
+
+
+class StaticPolicy:
+    """Fixed allocation applied once at start-up (the paper's baseline).
+
+    With ``shuffle_seed`` set, the placement follows the paper's
+    Sec. VI-C protocol: I/O groups (the networking containers and the
+    software stack) are packed at the bottom ways, away from DDIO, while
+    the non-networking groups are placed in a random order with the idle
+    ways scattered randomly between them — so, across seeds, a
+    cache-hungry container sometimes lands on the DDIO ways (the wide
+    baseline whiskers of Figs. 12-14) and sometimes does not.
+    """
+
+    def __init__(self, control: ControlPlane, *,
+                 explicit_masks: "dict[str, int] | None" = None,
+                 shuffle_seed: "int | None" = None) -> None:
+        self.control = control
+        self.explicit_masks = explicit_masks
+        self.shuffle_seed = shuffle_seed
+        self.interval_s = 1e9  # effectively never re-invoked
+        self.layout: "Layout | None" = None
+
+    def _group_counts(self, groups: "list[str]") -> "list[tuple[str, int]]":
+        tenants = self.control.tenants
+        return [(g, max(max(1, t.initial_ways)
+                        for t in tenants.group_members(g)))
+                for g in groups]
+
+    def _random_layout(self, ddio_ways: int) -> Layout:
+        tenants = self.control.tenants
+        num_ways = self.control.pqos.num_ways
+        rng = np.random.default_rng(self.shuffle_seed)
+        io_groups = [g for g in tenants.group_names()
+                     if any(t.is_io or t.is_stack
+                            for t in tenants.group_members(g))]
+        other = [g for g in tenants.group_names() if g not in io_groups]
+        other = [other[i] for i in rng.permutation(len(other))]
+        counts = self._group_counts(io_groups + other)
+        total = sum(c for _, c in counts)
+        free = max(0, num_ways - total)
+        # Scatter the idle ways as gaps between the non-I/O groups.
+        gaps = (rng.multinomial(free, [1.0 / (len(other) + 1)]
+                                * (len(other) + 1))
+                if free and other else [0] * (len(other) + 1))
+        masks: "dict[str, int]" = {}
+        cursor = 0
+        gap_idx = 0
+        for group, count in counts:
+            if group in other:
+                cursor += int(gaps[gap_idx])
+                gap_idx += 1
+            start = min(cursor, num_ways - count)
+            masks[group] = ((1 << count) - 1) << start
+            cursor = start + count
+        return Layout(group_masks=masks,
+                      ddio_mask=ways_to_mask(num_ways - ddio_ways,
+                                             ddio_ways))
+
+    def on_start(self, now: float) -> None:
+        control = self.control
+        tenants = control.tenants
+        ddio_ways = control.pqos.ddio_way_count()
+        if self.explicit_masks is not None:
+            layout = Layout(group_masks=dict(self.explicit_masks),
+                            ddio_mask=control.pqos.ddio_get_mask())
+        elif self.shuffle_seed is not None:
+            layout = self._random_layout(ddio_ways)
+        else:
+            counts = self._group_counts(tenants.group_names())
+            layout = plan_layout(control.pqos.num_ways, ddio_ways, counts)
+        _apply_group_masks(control, layout, None)
+        self.layout = layout
+
+    def on_interval(self, now: float) -> None:
+        """Static: nothing to do."""
+
+
+class ReactivePolicy:
+    """Miss-rate driven, I/O-unaware dynamic allocation (dCAT-like)."""
+
+    #: Miss-rate jump (percentage points) that triggers a way grant.
+    GROW_THRESHOLD_PP = 2.0
+    #: Relative LLC-reference drop that triggers a reclaim.
+    RECLAIM_THRESHOLD = 0.30
+
+    def __init__(self, control: ControlPlane,
+                 params: "IATParams | None" = None, *,
+                 io_isolated: bool = False,
+                 shuffle_seed: "int | None" = None) -> None:
+        self.control = control
+        self.params = params or IATParams()
+        self.io_isolated = io_isolated
+        self.shuffle_seed = shuffle_seed
+        self.interval_s = self.params.interval_s
+        self.allocator: "WayAllocator | None" = None
+        self.layout: "Layout | None" = None
+        self._order: "list[str]" = []
+        self._prev_miss_rate: "dict[str, float]" = {}
+        self._prev_refs: "dict[str, int]" = {}
+        self._peak_refs: "dict[str, int]" = {}
+        self._growing: "set[str]" = set()
+
+    # ------------------------------------------------------------------
+    def on_start(self, now: float) -> None:
+        control = self.control
+        tenants = control.tenants
+        self.allocator = WayAllocator.for_tenants(
+            control.pqos.num_ways, self.params, tenants)
+        self.allocator.ddio_ways = control.pqos.ddio_way_count()
+        self._order = _initial_order(tenants, self.shuffle_seed)
+        for tenant in tenants:
+            control.pqos.mon_start(f"policy.{tenant.name}", tenant.cores)
+        self._apply()
+
+    def on_interval(self, now: float) -> None:
+        control = self.control
+        grow_best: "tuple[float, str] | None" = None
+        refs_now: "dict[str, int]" = {}
+        rate_now: "dict[str, float]" = {}
+        for tenant in control.tenants:
+            result = control.pqos.mon_poll(f"policy.{tenant.name}")
+            group = tenant.group
+            refs_now[group] = refs_now.get(group, 0) + result.llc_references
+            rate_now[group] = max(rate_now.get(group, 0.0), result.miss_rate)
+        for group, rate in rate_now.items():
+            delta_pp = (rate - self._prev_miss_rate.get(group, rate)) * 100.0
+            if delta_pp > self.GROW_THRESHOLD_PP:
+                self._growing.add(group)
+                if grow_best is None or delta_pp > grow_best[0]:
+                    grow_best = (delta_pp, group)
+            elif group in self._growing:
+                # Keep granting while the last way kept helping (the
+                # dCAT-style grow-while-beneficial loop).
+                if rate > 0.10 and delta_pp < -0.5:
+                    if grow_best is None:
+                        grow_best = (delta_pp, group)
+                else:
+                    self._growing.discard(group)
+        changed = False
+        if grow_best is not None:
+            changed |= self._grow_into_pool(grow_best[1], refs_now)
+        else:
+            changed |= self._maybe_reclaim(refs_now)
+        # Track the externally controlled DDIO width every interval.
+        ddio_ways = control.pqos.ddio_way_count()
+        if ddio_ways != self.allocator.ddio_ways:
+            self.allocator.ddio_ways = ddio_ways
+            changed = True
+        if changed:
+            self._apply()
+        self._prev_miss_rate = rate_now
+        self._prev_refs = refs_now
+
+    def _grow_into_pool(self, group: str,
+                        refs_now: "dict[str, int]") -> bool:
+        """Grant one way from the *idle* pool only.
+
+        Core-only considers every way a core may use — including, since
+        it is I/O-unaware, the DDIO ways (the Latent Contender problem).
+        I/O-iso excludes the DDIO ways; when its pool is exhausted it
+        first takes a way back from a best-effort group ("it has to
+        reduce the ways for BE container 2 and 3 to make room").
+        """
+        alloc = self.allocator
+        tenants = self.control.tenants
+        limit = alloc.num_ways
+        if self.io_isolated:
+            limit -= alloc.ddio_ways
+        used = sum(alloc.group_ways.values())
+        if used >= limit:
+            if not self.io_isolated:
+                return False  # no idle ways; Core-only never confiscates
+            donors = [g for g in alloc.group_ways
+                      if g != group
+                      and tenants.group_priority(g) is Priority.BE
+                      and alloc.group_ways[g] > 1]
+            if not donors:
+                return False
+            victim = min(donors, key=lambda g: refs_now.get(g, 0))
+            alloc.group_ways[victim] -= 1
+        if alloc.grow_group(group):
+            self._peak_refs[group] = refs_now.get(group, 0)
+            return True
+        return False
+
+    def _maybe_reclaim(self, refs_now: "dict[str, int]") -> bool:
+        tenants = self.control.tenants
+        for group, ways in self.allocator.group_ways.items():
+            floor = max(max(1, t.initial_ways)
+                        for t in tenants.group_members(group))
+            if ways <= floor:
+                continue
+            peak = self._peak_refs.get(group, 0)
+            if peak and rel_change(refs_now.get(group, 0), peak) \
+                    < -self.RECLAIM_THRESHOLD:
+                return self.allocator.shrink_group(group, floor=floor)
+        return False
+
+    def _fit_to_pool(self) -> None:
+        """I/O-iso repartitioning: the core pool excludes the DDIO ways,
+        and partitions stay *disjoint*, so when demand exceeds the pool
+        other tenants must give ways up — best-effort groups first, then
+        performance-critical ones ("it has to reduce the ways for BE
+        container 2 and 3 to make room for the PC containers"; after
+        DDIO widens, "the PC containers have to share" a smaller pool).
+        """
+        alloc = self.allocator
+        limit = alloc.num_ways - alloc.ddio_ways
+        tenants = self.control.tenants
+
+        def shrink_candidates():
+            # BE groups yield first; PC groups only as a last resort
+            # (the paper's phase-3 I/O-iso: once DDIO takes more ways,
+            # even the PC containers are squeezed down to 1-3 ways).
+            be = [g for g in alloc.group_ways
+                  if tenants.group_priority(g) is Priority.BE]
+            pc = [g for g in alloc.group_ways
+                  if tenants.group_priority(g) is not Priority.BE]
+            be.sort(key=lambda g: -alloc.group_ways[g])
+            pc.sort(key=lambda g: -alloc.group_ways[g])
+            return be + pc
+
+        guard = 0
+        while sum(alloc.group_ways.values()) > limit and guard < 64:
+            guard += 1
+            took = False
+            for group in shrink_candidates():
+                if alloc.group_ways[group] > 1:
+                    alloc.group_ways[group] -= 1
+                    took = True
+                    break
+            if not took:
+                break  # everyone is at one way already
+
+    def _apply(self) -> None:
+        if self.io_isolated:
+            self._fit_to_pool()
+        layout = self.allocator.layout(self._order,
+                                       io_isolated=self.io_isolated)
+        _apply_group_masks(self.control, layout, self.layout)
+        self.layout = layout
+
+
+class CoreOnlyPolicy(ReactivePolicy):
+    """Dynamic allocation ignoring DDIO entirely (Sec. VI-B footnote 4)."""
+
+    def __init__(self, control: ControlPlane,
+                 params: "IATParams | None" = None, *,
+                 shuffle_seed: "int | None" = None) -> None:
+        super().__init__(control, params, io_isolated=False,
+                         shuffle_seed=shuffle_seed)
+
+
+class IOIsoPolicy(ReactivePolicy):
+    """Core-only with the DDIO ways excluded from the core pool."""
+
+    def __init__(self, control: ControlPlane,
+                 params: "IATParams | None" = None, *,
+                 shuffle_seed: "int | None" = None) -> None:
+        super().__init__(control, params, io_isolated=True,
+                         shuffle_seed=shuffle_seed)

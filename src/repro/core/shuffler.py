@@ -1,0 +1,59 @@
+"""LLC-way shuffling policy: who gets to sit next to DDIO (Sec. IV-D).
+
+The planner packs allocation groups bottom-up, so the *last* group in
+the order is the one that overlaps DDIO's top-anchored ways when the
+cache is over-committed.  The paper's policy, encoded as an ordering:
+
+* performance-critical (PC) groups are isolated from DDIO as much as
+  possible — they go to the bottom;
+* the aggregation model's software stack sits below the PC tenants
+  (it is latency-critical for every attached tenant);
+* best-effort (BE) groups fill the top, sorted by their LLC reference
+  count in the current interval **descending**, so the BE tenant with
+  the smallest reference count — the one that both suffers and causes
+  the least contention — ends up adjacent to (and, under pressure,
+  overlapping) the DDIO ways.
+"""
+
+from __future__ import annotations
+
+from ..tenants.tenant import Priority, TenantSet
+
+
+def group_refs(tenants: TenantSet,
+               llc_references: "dict[str, int]") -> "dict[str, int]":
+    """Sum per-tenant LLC reference counts into per-group counts."""
+    refs: "dict[str, int]" = {}
+    for tenant in tenants:
+        refs[tenant.group] = (refs.get(tenant.group, 0)
+                              + llc_references.get(tenant.name, 0))
+    return refs
+
+
+def placement_order(tenants: TenantSet,
+                    llc_references: "dict[str, int] | None" = None
+                    ) -> "list[str]":
+    """Bottom-up group order for the layout planner."""
+    refs = group_refs(tenants, llc_references or {})
+    stack, pc, be = [], [], []
+    for group in tenants.group_names():
+        priority = tenants.group_priority(group)
+        if priority is Priority.STACK:
+            stack.append(group)
+        elif priority is Priority.PC:
+            pc.append(group)
+        else:
+            be.append(group)
+    pc.sort()
+    be.sort(key=lambda group: (-refs.get(group, 0), group))
+    return stack + pc + be
+
+
+def share_tenant(tenants: TenantSet,
+                 llc_references: "dict[str, int]") -> "str | None":
+    """The BE group chosen to share ways with DDIO (smallest LLC ref)."""
+    order = placement_order(tenants, llc_references)
+    for group in reversed(order):
+        if tenants.group_priority(group) is Priority.BE:
+            return group
+    return order[-1] if order else None

@@ -1,0 +1,34 @@
+"""Experiment harnesses: one module per figure of the paper's evaluation.
+
+| Module                  | Paper figure | Content |
+|-------------------------|--------------|---------|
+| fig03_ring_size         | Fig. 3  | RFC2544 throughput vs Rx ring size |
+| fig04_latent_contender  | Fig. 4  | X-Mem vs DDIO way overlap |
+| fig08_leaky_dma         | Fig. 8  | DDIO hit/miss, mem BW, OVS IPC/CPP |
+| fig09_flow_scaling      | Fig. 9  | OVS under growing flow counts |
+| fig10_shuffle           | Fig. 10 | four-policy comparison |
+| fig11_timeline          | Fig. 11 | allocation timeline with IAT |
+| fig12_exec_time         | Fig. 12 | app slowdown, baseline vs IAT |
+| fig13_rocksdb_latency   | Fig. 13 | RocksDB weighted latency |
+| fig14_redis_ycsb        | Fig. 14 | Redis tput/avg/p99 degradation |
+| fig15_overhead          | Fig. 15 | daemon iteration cost |
+"""
+
+from . import (appbench, common, ext_ddio, fig03_ring_size,
+               fig04_latent_contender, fig08_leaky_dma, fig09_flow_scaling,
+               fig10_shuffle, fig11_timeline, fig12_exec_time,
+               fig13_rocksdb_latency, fig14_redis_ycsb, fig15_overhead,
+               measure, report, sensitivity)
+from .common import (Scenario, kvs_scenario, l3fwd_scenario,
+                     latent_contender_scenario, leaky_dma_scenario,
+                     make_platform, nfv_scenario, shuffle_scenario)
+
+__all__ = [
+    "Scenario", "appbench", "common", "ext_ddio", "fig03_ring_size",
+    "fig04_latent_contender", "fig08_leaky_dma", "fig09_flow_scaling",
+    "fig10_shuffle", "fig11_timeline", "fig12_exec_time",
+    "fig13_rocksdb_latency", "fig14_redis_ycsb", "fig15_overhead",
+    "kvs_scenario", "l3fwd_scenario", "latent_contender_scenario",
+    "leaky_dma_scenario", "make_platform", "measure", "nfv_scenario",
+    "report", "sensitivity", "shuffle_scenario",
+]

@@ -1,0 +1,110 @@
+"""Fig. 4: the Latent Contender problem — X-Mem vs. DDIO way overlap.
+
+Paper Sec. III-B: one container runs l3fwd at 40 Gb on two LLC ways
+(ways 0-1); another runs X-Mem random-read with a 4-16 MB working set,
+bound either to two *dedicated* ways or to the two *DDIO* ways.  Even
+though the containers share no ways from the core's point of view, the
+DDIO overlap degrades X-Mem by up to ~26% throughput / ~32% latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import PlatformSpec
+from .common import latent_contender_scenario
+from .measure import StatsWindow
+
+DEFAULT_WORKING_SETS_MB = (4, 8, 12, 16)
+
+
+@dataclass
+class Fig4Point:
+    working_set_mb: int
+    throughput_dedicated: float
+    throughput_overlap: float
+    latency_dedicated_ns: float
+    latency_overlap_ns: float
+
+    @property
+    def throughput_loss(self) -> float:
+        """Relative throughput drop caused by DDIO overlap."""
+        if self.throughput_dedicated == 0:
+            return 0.0
+        return 1.0 - self.throughput_overlap / self.throughput_dedicated
+
+    @property
+    def latency_gain(self) -> float:
+        """Relative average-latency increase caused by DDIO overlap."""
+        if self.latency_dedicated_ns == 0:
+            return 0.0
+        return self.latency_overlap_ns / self.latency_dedicated_ns - 1.0
+
+
+@dataclass
+class Fig4Result:
+    points: "list[Fig4Point]"
+
+    def worst_throughput_loss(self) -> float:
+        return max(p.throughput_loss for p in self.points)
+
+    def worst_latency_gain(self) -> float:
+        return max(p.latency_gain for p in self.points)
+
+
+def _one_case(ws_bytes: int, overlap: bool, *, warmup_s: float,
+              measure_s: float, packet_size: int,
+              spec: "PlatformSpec | None") -> "tuple[float, float]":
+    scenario = latent_contender_scenario(
+        xmem_ws_bytes=ws_bytes, overlap_ddio=overlap,
+        packet_size=packet_size, spec=spec)
+    xmem = scenario.workloads["xmem"]
+    window = StatsWindow(xmem)
+    scenario.sim.run(warmup_s)
+    window.open(scenario.sim.now)
+    scenario.sim.run(measure_s)
+    result = window.close(scenario.sim.now)
+    freq = scenario.platform.spec.freq_hz
+    latency_ns = result.avg_latency_cycles / freq * 1e9
+    return result.ops_per_sec(scenario.time_scale), latency_ns
+
+
+def run(*, working_sets_mb=DEFAULT_WORKING_SETS_MB, packet_size: int = 1024,
+        warmup_s: float = 3.0, measure_s: float = 3.0,
+        spec: "PlatformSpec | None" = None) -> Fig4Result:
+    points = []
+    for ws_mb in working_sets_mb:
+        ws = ws_mb << 20
+        tput_ded, lat_ded = _one_case(ws, False, warmup_s=warmup_s,
+                                      measure_s=measure_s,
+                                      packet_size=packet_size, spec=spec)
+        tput_ovl, lat_ovl = _one_case(ws, True, warmup_s=warmup_s,
+                                      measure_s=measure_s,
+                                      packet_size=packet_size, spec=spec)
+        points.append(Fig4Point(ws_mb, tput_ded, tput_ovl, lat_ded, lat_ovl))
+    return Fig4Result(points)
+
+
+def format_table(result: Fig4Result) -> str:
+    lines = ["Fig. 4 — X-Mem with dedicated vs DDIO-overlapped LLC ways",
+             f"{'WS (MB)':>8} {'tput ded':>12} {'tput ovl':>12} "
+             f"{'loss':>7} {'lat ded':>9} {'lat ovl':>9} {'worse':>7}"]
+    for p in result.points:
+        lines.append(
+            f"{p.working_set_mb:>8} {p.throughput_dedicated / 1e6:>10.2f}M "
+            f"{p.throughput_overlap / 1e6:>10.2f}M "
+            f"{p.throughput_loss * 100:>6.1f}% "
+            f"{p.latency_dedicated_ns:>7.1f}ns {p.latency_overlap_ns:>7.1f}ns "
+            f"{p.latency_gain * 100:>6.1f}%")
+    lines.append(f"worst: throughput -{result.worst_throughput_loss() * 100:.1f}%"
+                 f", latency +{result.worst_latency_gain() * 100:.1f}%"
+                 f"  (paper: up to -26.0% / +32.0%)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Fig. 11: LLC allocation and container-4 LLC misses over time with IAT.
+
+Same scenario and phase script as Fig. 10, 1.5 KB packets, IAT active
+(DDIO way management frozen per footnote 3).  The paper plots the
+per-tenant way allocation and container 4's LLC miss count sampled at
+0.1 s by an independent pqos process; our metrics recorder plays that
+role.  Expected: IAT reacts within its sleep interval to the working-set
+jump at 5 s (grants container 4 ways, shuffles container 3 next to
+DDIO) and to the DDIO widening at 15 s (reshuffles to restore
+isolation), visible as a drop in container 4's miss rate after each
+reaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cache.cat import mask_ways
+from ..cache.ddio import ddio_mask_for_ways
+from ..sim.config import PlatformSpec
+from .common import shuffle_scenario
+
+
+@dataclass
+class Fig11Result:
+    times: "np.ndarray"
+    c4_misses: "np.ndarray"
+    masks: "dict[str, list[int]]"     # per-tenant mask series
+    ddio_masks: "list[int]"
+    daemon_history: list
+
+    def mask_at(self, name: str, t: float) -> int:
+        idx = int(np.searchsorted(self.times, t))
+        idx = min(idx, len(self.masks[name]) - 1)
+        return self.masks[name][idx]
+
+    def reaction_delay(self, event_t: float, *,
+                       window: float = 3.0) -> "float | None":
+        """Seconds until c4's mask changed after an event (None = never)."""
+        before = self.mask_at("c4", event_t)
+        for t, mask in zip(self.times, self.masks["c4"]):
+            if event_t < t <= event_t + window and mask != before:
+                return t - event_t
+        return None
+
+
+def run(*, packet_size: int = 1500, t_grow: float = 5.0,
+        t_ddio: float = 15.0, t_end: float = 20.0,
+        spec: "PlatformSpec | None" = None) -> Fig11Result:
+    scenario = shuffle_scenario(packet_size=packet_size, spec=spec)
+    daemon = scenario.attach_controller("iat", manage_ddio=False)
+    sim = scenario.sim
+    platform = scenario.platform
+    c4 = scenario.workloads["c4"]
+    sim.at(t_grow, lambda: c4.set_working_set(10 << 20))
+    sim.at(t_ddio, lambda: platform.ddio.set_mask(
+        ddio_mask_for_ways(platform.spec.llc, 4)))
+    metrics = sim.run(t_end)
+
+    names = list(scenario.workloads)
+    masks = {name: [r.tenants[name].mask for r in metrics.records]
+             for name in names}
+    return Fig11Result(
+        times=metrics.times(),
+        c4_misses=metrics.tenant_series("c4", "llc_misses"),
+        masks=masks,
+        ddio_masks=[r.ddio_mask for r in metrics.records],
+        daemon_history=daemon.history)
+
+
+def format_timeline(result: Fig11Result, *, stride: int = 10) -> str:
+    lines = ["Fig. 11 — way allocation & c4 LLC misses over time (IAT)",
+             f"{'t':>6} {'c4 miss':>9} {'c4 ways':>12} {'ddio ways':>12} "
+             f"{'shared-with-ddio':>18}"]
+    for i in range(0, len(result.times), stride):
+        t = result.times[i]
+        ddio = result.ddio_masks[i]
+        shared = [name for name, series in result.masks.items()
+                  if series[i] & ddio]
+        lines.append(
+            f"{t:>6.1f} {int(result.c4_misses[i]):>9} "
+            f"{str(mask_ways(result.masks['c4'][i])):>12} "
+            f"{str(mask_ways(ddio)):>12} {','.join(shared) or '-':>18}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(format_timeline(run()))
+
+
+if __name__ == "__main__":
+    main()

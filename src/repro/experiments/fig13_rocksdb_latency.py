@@ -1,0 +1,97 @@
+"""Fig. 13: RocksDB normalized weighted average latency, baseline vs IAT.
+
+Paper Sec. VI-C: for each YCSB workload, every operation type's average
+latency is normalized to the solo run and the normalized values are
+combined with the mix's weights ("normalized weighted latency").
+Co-runners: Redis behind OVS, or the FastClick chain.
+
+Expected shape: baseline up to 1.141 (Redis) / 1.197 (FastClick); IAT
+at most ~1.064 / ~1.099.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import PlatformSpec
+from ..workloads.ycsb import ALL_WORKLOADS
+from .appbench import corun, solo_app_run
+
+DEFAULT_LETTERS = ("A", "B", "C", "F")
+DEFAULT_SEEDS = (0, 1, 2, 3)
+
+
+def weighted_latency(per_op_corun, per_op_solo, mix) -> float:
+    """The paper's metric: per-type normalized latency, mix-weighted."""
+    total = 0.0
+    for op, share in mix.proportions.items():
+        solo = per_op_solo.get(op, 0.0)
+        mine = per_op_corun.get(op, 0.0)
+        total += share * (mine / solo if solo else 1.0)
+    return total
+
+
+@dataclass
+class Fig13Cell:
+    scenario: str
+    letter: str
+    baseline_min: float
+    baseline_max: float
+    iat: float
+
+
+@dataclass
+class Fig13Result:
+    cells: "list[Fig13Cell]"
+
+    def cell(self, scenario: str, letter: str) -> Fig13Cell:
+        for c in self.cells:
+            if c.scenario == scenario and c.letter == letter:
+                return c
+        raise KeyError((scenario, letter))
+
+
+def run(*, scenarios=("kvs", "nfv"), letters=DEFAULT_LETTERS,
+        seeds=DEFAULT_SEEDS, warmup_s: float = 2.0, measure_s: float = 4.0,
+        spec: "PlatformSpec | None" = None) -> Fig13Result:
+    cells = []
+    for letter in letters:
+        mix = ALL_WORKLOADS[letter]
+        solo = solo_app_run("rocksdb", letter, warmup_s=warmup_s,
+                            measure_s=measure_s, spec=spec)
+        for scenario in scenarios:
+            values = []
+            for seed in seeds:
+                metrics = corun(scenario, "rocksdb", "baseline",
+                                ycsb_letter=letter, seed=seed,
+                                warmup_s=warmup_s, measure_s=measure_s,
+                                spec=spec)
+                values.append(weighted_latency(metrics.rocksdb_per_op,
+                                               solo.rocksdb_per_op, mix))
+            iat_metrics = corun(scenario, "rocksdb", "iat",
+                                ycsb_letter=letter, warmup_s=warmup_s,
+                                measure_s=measure_s, spec=spec)
+            iat_value = weighted_latency(iat_metrics.rocksdb_per_op,
+                                         solo.rocksdb_per_op, mix)
+            cells.append(Fig13Cell(scenario, letter, min(values),
+                                   max(values), iat_value))
+    return Fig13Result(cells)
+
+
+def format_table(result: Fig13Result) -> str:
+    lines = ["Fig. 13 — RocksDB normalized weighted latency (1.00 = solo)",
+             f"{'scenario':>9} {'YCSB':>5} {'base min':>9} {'base max':>9} "
+             f"{'IAT':>7}"]
+    for c in result.cells:
+        lines.append(f"{c.scenario:>9} {c.letter:>5} {c.baseline_min:>9.3f} "
+                     f"{c.baseline_max:>9.3f} {c.iat:>7.3f}")
+    lines.append("paper: baseline up to 1.141/1.197; IAT at most 1.064/1.099")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Fig. 14: Redis YCSB performance when non-networking tenants contend,
+baseline vs IAT.
+
+Paper Sec. VI-C: the *networking* application also suffers when a
+cache-hungry non-networking container happens to share LLC ways with
+DDIO — the inbound request/response buffers get evicted.  Reported per
+YCSB workload: throughput, average latency and p99 latency, normalized
+to the Redis solo run.
+
+Expected shape: baseline 7.1-24.5% throughput loss, 7.9-26.5% higher
+average latency, 10.1-20.4% higher tail latency (worst with read-heavy
+A/B/C); IAT restricts these to 2.8-5.6% / 2.9-8.9% / 2.8-8.7%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import PlatformSpec
+from .appbench import corun, solo_net_run
+
+DEFAULT_LETTERS = ("A", "B", "C")
+DEFAULT_SEEDS = (0, 1, 2, 3)
+#: The cache-hungry co-runner (the paper names mcf/omnetpp/xalancbmk/
+#: X-Mem-10MB/RocksDB as the aggressors).
+DEFAULT_APP = "mcf"
+
+
+@dataclass
+class Fig14Cell:
+    letter: str
+    metric: str                  # "throughput" | "avg" | "p99"
+    baseline_worst: float        # worst relative degradation over seeds
+    baseline_best: float
+    iat: float
+
+
+@dataclass
+class Fig14Result:
+    cells: "list[Fig14Cell]"
+
+    def cell(self, letter: str, metric: str) -> Fig14Cell:
+        for c in self.cells:
+            if c.letter == letter and c.metric == metric:
+                return c
+        raise KeyError((letter, metric))
+
+
+def _degradations(metrics, solo) -> "dict[str, float]":
+    return {
+        "throughput": (1.0 - metrics.redis_tput / solo.redis_tput
+                       if solo.redis_tput else 0.0),
+        "avg": (metrics.redis_avg_us / solo.redis_avg_us - 1.0
+                if solo.redis_avg_us else 0.0),
+        "p99": (metrics.redis_p99_us / solo.redis_p99_us - 1.0
+                if solo.redis_p99_us else 0.0),
+    }
+
+
+def run(*, letters=DEFAULT_LETTERS, seeds=DEFAULT_SEEDS,
+        app: str = DEFAULT_APP, warmup_s: float = 2.0,
+        measure_s: float = 4.0,
+        spec: "PlatformSpec | None" = None) -> Fig14Result:
+    cells = []
+    for letter in letters:
+        solo = solo_net_run("kvs", letter, warmup_s=warmup_s,
+                            measure_s=measure_s, spec=spec)
+        per_seed = []
+        for seed in seeds:
+            metrics = corun("kvs", app, "baseline", ycsb_letter=letter,
+                            seed=seed, warmup_s=warmup_s,
+                            measure_s=measure_s, spec=spec)
+            per_seed.append(_degradations(metrics, solo))
+        iat_metrics = corun("kvs", app, "iat", ycsb_letter=letter,
+                            warmup_s=warmup_s, measure_s=measure_s,
+                            spec=spec)
+        iat_deg = _degradations(iat_metrics, solo)
+        for metric in ("throughput", "avg", "p99"):
+            values = [d[metric] for d in per_seed]
+            cells.append(Fig14Cell(letter, metric, max(values), min(values),
+                                   iat_deg[metric]))
+    return Fig14Result(cells)
+
+
+def format_table(result: Fig14Result) -> str:
+    lines = ["Fig. 14 — Redis degradation vs solo run",
+             f"{'YCSB':>5} {'metric':>11} {'base best':>10} "
+             f"{'base worst':>11} {'IAT':>8}"]
+    for c in result.cells:
+        lines.append(f"{c.letter:>5} {c.metric:>11} "
+                     f"{c.baseline_best * 100:>9.1f}% "
+                     f"{c.baseline_worst * 100:>10.1f}% "
+                     f"{c.iat * 100:>7.1f}%")
+    lines.append("paper: baseline 7.1~24.5% tput / 7.9~26.5% avg / "
+                 "10.1~20.4% p99; IAT 2.8~5.6% / 2.9~8.9% / 2.8~8.7%")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Windowed measurement helpers for the experiment harnesses.
+
+Workload statistics are monotonic accumulators; experiments need rates
+and averages over a *measurement window* that excludes warm-up (cache
+fill, ring priming, controller convergence).  :class:`StatsWindow`
+snapshots a workload at window start and reports deltas at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.metrics import MetricsRecorder
+from ..workloads.base import Workload
+
+
+@dataclass
+class WindowResult:
+    """Deltas over one measurement window."""
+
+    seconds: float
+    ops: int
+    latency_sum_cycles: float
+    busy_cycles: float
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        return self.latency_sum_cycles / self.ops if self.ops else 0.0
+
+    def ops_per_sec(self, time_scale: float = 1.0) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.ops / self.seconds / time_scale
+
+
+class StatsWindow:
+    """Snapshot/delta view over one workload's statistics."""
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+        self._ops = 0
+        self._latency = 0.0
+        self._busy = 0.0
+        self._start_time = 0.0
+
+    def open(self, now: float) -> None:
+        stats = self.workload.stats
+        self._ops = stats.ops
+        self._latency = stats.latency_sum_cycles
+        self._busy = stats.busy_cycles
+        self._start_time = now
+
+    def close(self, now: float) -> WindowResult:
+        stats = self.workload.stats
+        return WindowResult(
+            seconds=now - self._start_time,
+            ops=stats.ops - self._ops,
+            latency_sum_cycles=stats.latency_sum_cycles - self._latency,
+            busy_cycles=stats.busy_cycles - self._busy)
+
+
+def steady_window(metrics: MetricsRecorder, warmup_s: float):
+    """Records after the warm-up boundary."""
+    if not metrics.records:
+        return []
+    end = metrics.records[-1].time
+    return metrics.window(warmup_s, end + 1.0)
+
+
+def mean_tenant_ipc(records, name: str) -> float:
+    values = [r.tenants[name].ipc for r in records if name in r.tenants]
+    return sum(values) / len(values) if values else 0.0
+
+
+def sum_tenant_misses(records, name: str) -> int:
+    return sum(r.tenants[name].llc_misses for r in records)
+
+
+def mean_mem_bandwidth(records, quantum_s: float,
+                       time_scale: float) -> float:
+    """Mean memory bandwidth over records, bytes/s real-time equivalent."""
+    if not records:
+        return 0.0
+    total = sum(r.mem_read_bytes + r.mem_write_bytes for r in records)
+    return total / (len(records) * quantum_s) / time_scale
+
+
+def ddio_rates(records, quantum_s: float, time_scale: float):
+    """(hits/s, misses/s) real-time equivalent over the records."""
+    if not records:
+        return 0.0, 0.0
+    seconds = len(records) * quantum_s * time_scale
+    hits = sum(r.ddio_hits for r in records)
+    misses = sum(r.ddio_misses for r in records)
+    return hits / seconds, misses / seconds

@@ -1,0 +1,74 @@
+"""Plain-text rendering helpers for experiment results.
+
+Terminal-friendly bar charts and sparklines used by the examples and
+the Fig. 11 timeline, so results are readable without a plotting stack
+(the repository deliberately has no matplotlib dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Eight-level block characters for sparklines.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def bar(value: float, maximum: float, *, width: int = 40,
+        fill: str = "#") -> str:
+    """A horizontal bar scaled so ``maximum`` fills ``width`` chars."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if maximum <= 0:
+        return ""
+    filled = int(round(min(max(value, 0.0), maximum) / maximum * width))
+    return fill * filled
+
+
+def bar_chart(rows: "Sequence[tuple[str, float]]", *, width: int = 40,
+              unit: str = "") -> str:
+    """Labelled horizontal bar chart; one row per (label, value)."""
+    if not rows:
+        return "(no data)"
+    label_width = max(len(label) for label, _ in rows)
+    maximum = max(value for _, value in rows)
+    lines = []
+    for label, value in rows:
+        lines.append(f"{label:>{label_width}} | "
+                     f"{bar(value, maximum, width=width):<{width}} "
+                     f"{value:g}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: "Sequence[float]") -> str:
+    """A one-line unicode sparkline of a series."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[4] * len(values)
+    scale = (len(_SPARK_LEVELS) - 1) / (hi - lo)
+    return "".join(_SPARK_LEVELS[int((v - lo) * scale)] for v in values)
+
+
+def mask_diagram(mask: int, num_ways: int, *, symbol: str = "X") -> str:
+    """Render a way mask as a fixed-width cell diagram, way 0 first.
+
+    >>> mask_diagram(0b110, 4)
+    '[.XX.]'
+    """
+    cells = [symbol if mask >> way & 1 else "." for way in range(num_ways)]
+    return "[" + "".join(cells) + "]"
+
+
+def layout_diagram(group_masks: "dict[str, int]", ddio_mask: int,
+                   num_ways: int) -> str:
+    """Multi-line diagram of a full LLC layout, one row per group."""
+    rows = [f"{'way':>12}  " + "".join(str(w % 10)
+                                       for w in range(num_ways))]
+    for name, mask in group_masks.items():
+        rows.append(f"{name:>12}  "
+                    + mask_diagram(mask, num_ways)[1:-1])
+    rows.append(f"{'DDIO':>12}  " + mask_diagram(ddio_mask, num_ways,
+                                                 symbol="D")[1:-1])
+    return "\n".join(rows)

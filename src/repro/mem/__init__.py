@@ -1,0 +1,7 @@
+"""Main-memory bandwidth/latency model, plus the MBA extension."""
+
+from .dram import MemoryController, MemorySpec
+from .mba import MBA_STEPS, MbaController, MbaError
+
+__all__ = ["MBA_STEPS", "MbaController", "MbaError", "MemoryController",
+           "MemorySpec"]

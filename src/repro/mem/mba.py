@@ -1,0 +1,55 @@
+"""Memory Bandwidth Allocation (MBA) model — an RDT companion to CAT.
+
+The paper notes (Sec. VI-C) that part of the residual degradation under
+IAT comes from memory-bandwidth contention, and that "applying Intel
+Memory Bandwidth Allocation (MBA) can solve this problem, which is out
+of the scope of this paper".  This module provides that out-of-scope
+piece as an extension, so the combination can be studied.
+
+Real MBA inserts programmable delays between a core's L2 and the ring,
+exposed as a per-CLOS *throttle* percentage (0 = unthrottled, 90 = max
+throttling) in steps of 10.  We model the documented first-order
+effect: a throttled core's DRAM accesses are stretched by
+``1 / (1 - throttle)``, which both reduces the bandwidth it can consume
+and raises its own effective memory latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Valid MBA throttle values (percent), per the RDT documentation.
+MBA_STEPS = tuple(range(0, 91, 10))
+
+
+class MbaError(ValueError):
+    """Raised for invalid throttle values or CLOS ids."""
+
+
+@dataclass
+class MbaController:
+    """Per-CLOS memory-bandwidth throttles (IA32_L2_QOS_EXT_BW MSRs)."""
+
+    num_cos: int = 16
+    _throttle: "dict[int, int]" = field(default_factory=dict)
+
+    def set_throttle(self, cos_id: int, percent: int) -> None:
+        if not 0 <= cos_id < self.num_cos:
+            raise MbaError(f"CLOS {cos_id} out of range")
+        if percent not in MBA_STEPS:
+            raise MbaError(f"throttle {percent} not a valid MBA step "
+                           f"{MBA_STEPS}")
+        self._throttle[cos_id] = percent
+
+    def get_throttle(self, cos_id: int) -> int:
+        if not 0 <= cos_id < self.num_cos:
+            raise MbaError(f"CLOS {cos_id} out of range")
+        return self._throttle.get(cos_id, 0)
+
+    def delay_factor(self, cos_id: int) -> float:
+        """Multiplier applied to a throttled core's DRAM access time."""
+        throttle = self.get_throttle(cos_id)
+        return 1.0 / (1.0 - throttle / 100.0)
+
+    def reset(self) -> None:
+        self._throttle.clear()

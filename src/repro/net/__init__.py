@@ -1,0 +1,12 @@
+"""Traffic generation, packet helpers, and the RFC 2544 search."""
+
+from .packet import MIN_PACKET, MTU_PACKET, PACKET_SIZE_LADDER, lines_per_packet
+from .rfc2544 import SearchResult, TrialResult, find_zero_loss_rate
+from .traffic import (Phase, PhasedTraffic, TrafficGen, TrafficSpec,
+                      zipf_weights)
+
+__all__ = [
+    "MIN_PACKET", "MTU_PACKET", "PACKET_SIZE_LADDER", "Phase",
+    "PhasedTraffic", "SearchResult", "TrafficGen", "TrafficSpec",
+    "TrialResult", "find_zero_loss_rate", "lines_per_packet", "zipf_weights",
+]

@@ -1,0 +1,19 @@
+"""Packet-size constants and helpers shared across traffic and workloads."""
+
+from __future__ import annotations
+
+#: Minimum Ethernet frame (the paper's small-packet case).
+MIN_PACKET = 64
+
+#: MTU-sized frame (the paper's large-packet case, "1.5KB").
+MTU_PACKET = 1500
+
+#: The packet-size ladder used in Figs. 8 and 10 (64B doubled up to MTU).
+PACKET_SIZE_LADDER = (64, 128, 256, 512, 1024, 1500)
+
+
+def lines_per_packet(size: int, line_size: int = 64) -> int:
+    """Cachelines touched when DMA-writing a packet of ``size`` bytes."""
+    if size <= 0:
+        raise ValueError("packet size must be positive")
+    return -(-size // line_size)

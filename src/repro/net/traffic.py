@@ -1,0 +1,144 @@
+"""Traffic generation: rates, flow populations, and time-varying phases.
+
+A :class:`TrafficSpec` describes one stream (rate, packet size, flow
+population).  :class:`PhasedTraffic` sequences specs over simulated time,
+which is how the Fig. 7/10/11 scenarios ("at t1 more traffic comes...")
+are scripted.
+
+Rates are expressed in *scaled* packets/second — the simulation engine
+multiplies real rates by its ``time_scale`` before they reach here, so
+this module is scale-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pci.nic import line_rate_pps
+
+
+def zipf_weights(n: int, theta: float) -> "np.ndarray":
+    """Normalized Zipf(theta) popularity weights over ``n`` items.
+
+    ``theta = 0`` degenerates to uniform; YCSB's default is 0.99.
+    """
+    if n < 1:
+        raise ValueError("need at least one item")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** -theta if theta > 0 else np.ones(n)
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One traffic stream.
+
+    ``pps``        packets per (scaled) second.
+    ``packet_size`` wire bytes per packet.
+    ``n_flows``    size of the flow population.
+    ``zipf_theta`` flow-popularity skew (0 = uniform, single flow if n=1).
+    ``burstiness`` >= 0; 0 gives a deterministic rate, larger values add
+                   multiplicative noise around the mean (bursty traffic
+                   being "ubiquitous in modern cloud services",
+                   Sec. III-A).
+    """
+
+    pps: float
+    packet_size: int = 64
+    n_flows: int = 1
+    zipf_theta: float = 0.0
+    burstiness: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pps < 0:
+            raise ValueError("pps must be non-negative")
+        if self.packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+        if self.n_flows < 1:
+            raise ValueError("n_flows must be >= 1")
+
+    @classmethod
+    def line_rate(cls, gbps: float, packet_size: int, *, scale: float = 1.0,
+                  n_flows: int = 1, zipf_theta: float = 0.0,
+                  burstiness: float = 0.0) -> "TrafficSpec":
+        """Spec for full line rate at ``gbps``, scaled by ``scale``."""
+        return cls(pps=line_rate_pps(gbps, packet_size) * scale,
+                   packet_size=packet_size, n_flows=n_flows,
+                   zipf_theta=zipf_theta, burstiness=burstiness)
+
+    def scaled(self, factor: float) -> "TrafficSpec":
+        """The same stream at ``factor`` times the rate."""
+        return TrafficSpec(pps=self.pps * factor, packet_size=self.packet_size,
+                           n_flows=self.n_flows, zipf_theta=self.zipf_theta,
+                           burstiness=self.burstiness)
+
+
+class TrafficGen:
+    """Draws per-interval packet counts and flow ids for one spec."""
+
+    def __init__(self, spec: TrafficSpec, rng: "np.random.Generator") -> None:
+        self.spec = spec
+        self._rng = rng
+        self._carry = 0.0
+        self._weights = (zipf_weights(spec.n_flows, spec.zipf_theta)
+                         if spec.n_flows > 1 else None)
+
+    def set_spec(self, spec: TrafficSpec) -> None:
+        self.spec = spec
+        self._weights = (zipf_weights(spec.n_flows, spec.zipf_theta)
+                         if spec.n_flows > 1 else None)
+
+    def packets(self, dt: float) -> int:
+        """Number of packets arriving in an interval of ``dt`` seconds."""
+        mean = self.spec.pps * dt
+        if self.spec.burstiness > 0:
+            # Unbiased log-normal multiplier: E[factor] = 1, so bursts
+            # redistribute arrivals in time without inflating the mean
+            # offered rate.
+            sigma = self.spec.burstiness
+            factor = self._rng.lognormal(mean=-sigma * sigma / 2.0,
+                                         sigma=sigma)
+            mean *= factor
+        mean += self._carry
+        count = int(mean)
+        self._carry = mean - count
+        return count
+
+    def flow_ids(self, count: int) -> "np.ndarray":
+        """Flow ids for ``count`` packets, honouring the popularity skew."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._weights is None:
+            return np.zeros(count, dtype=np.int64)
+        return self._rng.choice(len(self._weights), size=count,
+                                p=self._weights)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A traffic spec active from ``start`` (seconds) onward."""
+
+    start: float
+    spec: TrafficSpec
+
+
+class PhasedTraffic:
+    """Time-sequenced traffic: the spec in force changes at phase starts."""
+
+    def __init__(self, phases: "list[Phase]") -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.phases = sorted(phases, key=lambda p: p.start)
+        if self.phases[0].start > 0:
+            raise ValueError("first phase must start at t=0")
+
+    def spec_at(self, now: float) -> TrafficSpec:
+        current = self.phases[0].spec
+        for phase in self.phases:
+            if phase.start <= now:
+                current = phase.spec
+            else:
+                break
+        return current

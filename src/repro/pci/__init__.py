@@ -1,0 +1,9 @@
+"""PCIe device models: NICs, SR-IOV virtual functions, descriptor rings."""
+
+from .nic import WIRE_OVERHEAD_BYTES, Nic, VirtualFunction, line_rate_pps
+from .ring import DEFAULT_RING_ENTRIES, MBUF_STRIDE, DescRing, PacketRecord
+
+__all__ = [
+    "DEFAULT_RING_ENTRIES", "DescRing", "MBUF_STRIDE", "Nic", "PacketRecord",
+    "VirtualFunction", "WIRE_OVERHEAD_BYTES", "line_rate_pps",
+]

@@ -1,0 +1,122 @@
+"""Descriptor rings: the Rx/Tx buffer structure behind the Leaky DMA problem.
+
+A DPDK-style Rx ring has a fixed number of descriptor *entries*, each
+pointing at a packet buffer (mbuf).  DPDK mempools recycle mbufs, so the
+memory footprint the ring exerts on the LLC is approximately::
+
+    entries * mbuf_stride      (mbuf_stride = 2 KiB by default)
+
+though DDIO only *touches* ``ceil(packet_bytes / 64)`` lines per packet.
+When the in-flight footprint exceeds the capacity of the DDIO ways,
+buffers written by the NIC get evicted to DRAM before the core consumes
+them — the "Leaky DMA" problem (paper Sec. III-A).  This emerges
+naturally here because each ring slot has a stable address that the DMA
+writes and the consumer later reads through the simulated LLC.
+
+The ring itself is a simple bounded FIFO of packet records; address
+generation for a slot is deterministic so producer and consumer touch
+identical cachelines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+#: Default ring depth used throughout the paper's evaluation (Sec. VI-A).
+DEFAULT_RING_ENTRIES = 1024
+
+#: DPDK's default mbuf size: one fixed-stride buffer per descriptor.
+MBUF_STRIDE = 2048
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One enqueued packet: wire size, flow id, and its buffer address."""
+
+    size: int
+    flow_id: int
+    buf_addr: int
+    arrival: float = 0.0
+
+
+class DescRing:
+    """Bounded Rx/Tx descriptor ring with recycled, fixed-stride buffers.
+
+    ``base_addr`` places the ring's buffer region in the (simulated)
+    physical address space; distinct rings must use disjoint regions.
+
+    ``pool_factor`` models the DPDK mempool indirection: descriptors
+    point at mbufs drawn from a pool larger than the ring itself
+    (l3fwd's default mempool is several times its Rx ring), so the
+    buffer addresses the DMA engine touches cycle over
+    ``entries * pool_factor`` distinct slots.  This is what makes the
+    in-flight cache footprint exceed ``entries * mbuf_stride`` on real
+    systems.  Virtio rings have no such indirection (``pool_factor=1``).
+    """
+
+    def __init__(self, entries: int = DEFAULT_RING_ENTRIES, *,
+                 base_addr: int, mbuf_stride: int = MBUF_STRIDE,
+                 pool_factor: int = 1) -> None:
+        if entries < 1:
+            raise ValueError("ring needs at least one entry")
+        if entries & (entries - 1):
+            raise ValueError("ring entries must be a power of two")
+        if pool_factor < 1:
+            raise ValueError("pool_factor must be >= 1")
+        self.entries = entries
+        self.base_addr = base_addr
+        self.mbuf_stride = mbuf_stride
+        self.pool_factor = pool_factor
+        self._queue: "deque[PacketRecord]" = deque()
+        self._head = 0          # next slot index for an incoming packet
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    @property
+    def space(self) -> int:
+        return self.entries - len(self._queue)
+
+    @property
+    def pool_slots(self) -> int:
+        return self.entries * self.pool_factor
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Worst-case buffer-region footprint of this ring's pool."""
+        return self.pool_slots * self.mbuf_stride
+
+    def slot_addr(self, slot: int) -> int:
+        return self.base_addr + (slot % self.pool_slots) * self.mbuf_stride
+
+    # ------------------------------------------------------------------
+    def post(self, size: int, flow_id: int = 0, now: float = 0.0) -> "PacketRecord | None":
+        """Enqueue one inbound packet; returns its record, or None on drop."""
+        if len(self._queue) >= self.entries:
+            self.dropped += 1
+            return None
+        record = PacketRecord(size=size, flow_id=flow_id,
+                              buf_addr=self.slot_addr(self._head), arrival=now)
+        self._head += 1
+        self._queue.append(record)
+        self.enqueued += 1
+        return record
+
+    def peek(self) -> "PacketRecord | None":
+        return self._queue[0] if self._queue else None
+
+    def consume(self) -> "PacketRecord | None":
+        """Dequeue the oldest packet (consumer side)."""
+        if not self._queue:
+            return None
+        self.dequeued += 1
+        return self._queue.popleft()
+
+    def reset_counters(self) -> None:
+        self.enqueued = self.dequeued = self.dropped = 0

@@ -1,0 +1,16 @@
+"""Performance-counter models: core counters, CHA uncore, MSRs, pqos facade."""
+
+from .counters import CoreCounterBlock, CounterFile
+from .events import CORE_EVENTS, UNCORE_EVENTS, Event
+from .hw import HwPqos
+from .msr import LinuxMsr, MsrDevice, MsrError, SimMsr
+from .pqos import (GROUP_POLL_COST_US, MSR_OP_COST_US, MonitoringGroup,
+                   PollResult, PqosLib)
+from .uncore import ChaCounters, DdioSample
+
+__all__ = [
+    "CORE_EVENTS", "ChaCounters", "CoreCounterBlock", "CounterFile",
+    "DdioSample", "Event", "GROUP_POLL_COST_US", "HwPqos", "LinuxMsr",
+    "MSR_OP_COST_US", "MonitoringGroup", "MsrDevice", "MsrError",
+    "PollResult", "PqosLib", "SimMsr", "UNCORE_EVENTS",
+]

@@ -1,0 +1,59 @@
+"""Per-core performance counters (the CMT/perf side of RDT).
+
+Each simulated core owns one monotonically increasing counter block; the
+simulation engine credits instructions/cycles/LLC events as workloads
+execute.  The pqos facade exposes snapshot/delta reads exactly the way
+the real library does, so the IAT daemon's polling code is backend
+agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreCounterBlock:
+    """Monotonic counters for one core."""
+
+    instructions: int = 0
+    cycles: int = 0
+    llc_references: int = 0
+    llc_misses: int = 0
+
+    def credit(self, *, instructions: int = 0, cycles: int = 0,
+               llc_references: int = 0, llc_misses: int = 0) -> None:
+        self.instructions += instructions
+        self.cycles += cycles
+        self.llc_references += llc_references
+        self.llc_misses += llc_misses
+
+    def snapshot(self) -> "CoreCounterBlock":
+        return CoreCounterBlock(self.instructions, self.cycles,
+                                self.llc_references, self.llc_misses)
+
+
+@dataclass
+class CounterFile:
+    """All core counter blocks for one CPU package."""
+
+    num_cores: int
+    cores: "list[CoreCounterBlock]" = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            self.cores = [CoreCounterBlock() for _ in range(self.num_cores)]
+
+    def core(self, core_id: int) -> CoreCounterBlock:
+        return self.cores[core_id]
+
+    def aggregate(self, core_ids) -> CoreCounterBlock:
+        """Sum of the blocks for ``core_ids`` (per-tenant aggregation)."""
+        total = CoreCounterBlock()
+        for core_id in core_ids:
+            block = self.cores[core_id]
+            total.credit(instructions=block.instructions,
+                         cycles=block.cycles,
+                         llc_references=block.llc_references,
+                         llc_misses=block.llc_misses)
+        return total

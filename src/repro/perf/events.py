@@ -1,0 +1,35 @@
+"""Symbolic names for the hardware events IAT consumes (paper Sec. IV-B).
+
+Only four event families matter to IAT:
+
+* per-core ``INSTRUCTIONS`` and ``CYCLES`` (for IPC),
+* per-core ``LLC_REFERENCE`` and ``LLC_MISS`` (memory-access character),
+* chip-wide ``DDIO_HIT`` (write update) and ``DDIO_MISS`` (write
+  allocate), read from CHA uncore counters.
+
+Keeping them as an enum lets the pqos facade expose a stable, typed
+surface regardless of which backend (simulator or real MSRs) sits below.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Event(enum.Enum):
+    """The hardware events IAT polls (Sec. IV-B)."""
+
+    INSTRUCTIONS = "instructions"
+    CYCLES = "cycles"
+    LLC_REFERENCE = "llc_reference"
+    LLC_MISS = "llc_miss"
+    DDIO_HIT = "ddio_hit"
+    DDIO_MISS = "ddio_miss"
+
+
+#: Events collected per core (aggregated per tenant by the daemon).
+CORE_EVENTS = (Event.INSTRUCTIONS, Event.CYCLES,
+               Event.LLC_REFERENCE, Event.LLC_MISS)
+
+#: Events collected once per CPU package.
+UNCORE_EVENTS = (Event.DDIO_HIT, Event.DDIO_MISS)

@@ -1,0 +1,234 @@
+"""Real-hardware control-plane backend (Skylake-SP MSR layout).
+
+The IAT daemon only needs the method surface of
+:class:`repro.perf.pqos.PqosLib`; this module provides :class:`HwPqos`,
+an implementation that programs actual Intel RDT and uncore registers
+through an :class:`~repro.perf.msr.MsrDevice` per core.  With
+``LinuxMsr`` devices it drives a physical Skylake-SP box exactly like
+the released iat-pqos artifact; with fake MSR devices it is fully unit
+testable, which is how this repository exercises it (no Intel hardware
+in CI — see DESIGN.md's substitution table).
+
+Register map (Intel SDM vol. 4 and the Xeon Scalable uncore manual):
+
+* ``IA32_PQR_ASSOC`` (0xC8F) — CLOS in bits 63:32, RMID in bits 9:0.
+* ``IA32_L3_QOS_MASK_n`` (0xC90 + n) — the CBM of CLOS ``n``.
+* ``IIO_LLC_WAYS`` (0xC8B) — the DDIO way mask (undocumented; from the
+  iat-pqos fork).
+* Fixed counters — ``IA32_FIXED_CTR0/1`` (0x309/0x30A) count retired
+  instructions / core cycles once enabled via ``IA32_FIXED_CTR_CTRL``
+  (0x38D) and ``IA32_PERF_GLOBAL_CTRL`` (0x38F).
+* General PMU — ``IA32_PERFEVTSEL0/1`` (0x186/0x187) programmed with
+  LONGEST_LAT_CACHE.REFERENCE (0x4F2E) / .MISS (0x412E), read from
+  ``IA32_PMC0/1`` (0xC1/0xC2).
+* CHA PMON — per-CHA blocks of MSRs starting at 0xE00 (stride 0x10):
+  unit control, counter controls and counters.  The DDIO hit/miss
+  events are TOR inserts filtered to ItoM from PCIe (the same events
+  the paper's Sec. V uses); only CHA 0 is programmed and its counts are
+  scaled by the slice count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cache.ddio import IIO_LLC_WAYS_MSR
+from .msr import MsrDevice
+from .pqos import MonitoringGroup, PollResult
+
+# -- Intel RDT architectural MSRs -------------------------------------------
+IA32_PQR_ASSOC = 0xC8F
+IA32_L3_QOS_MASK_BASE = 0xC90
+
+# -- Core PMU ----------------------------------------------------------------
+IA32_PMC0 = 0xC1
+IA32_PMC1 = 0xC2
+IA32_PERFEVTSEL0 = 0x186
+IA32_PERFEVTSEL1 = 0x187
+IA32_FIXED_CTR0 = 0x309          # instructions retired
+IA32_FIXED_CTR1 = 0x30A          # core cycles
+IA32_FIXED_CTR_CTRL = 0x38D
+IA32_PERF_GLOBAL_CTRL = 0x38F
+
+#: PERFEVTSEL encoding: LONGEST_LAT_CACHE.REFERENCE / .MISS with
+#: USR+OS+EN bits (0x43 in bits 16-23).
+EVT_LLC_REFERENCE = 0x43_4F_2E
+EVT_LLC_MISS = 0x43_41_2E
+
+#: Enable fixed counters 0 and 1 for OS+USR.
+FIXED_CTR_CTRL_ENABLE = 0x33
+#: Global enable: PMC0, PMC1, FIXED0, FIXED1.
+GLOBAL_CTRL_ENABLE = (1 << 0) | (1 << 1) | (1 << 32) | (1 << 33)
+
+#: MBA delay-value MSRs (IA32_L2_QOS_EXT_BW_THRTL_n), one per CLOS.
+IA32_MBA_THRTL_BASE = 0xD50
+
+# -- CHA PMON (Skylake-SP uncore) ---------------------------------------------
+CHA_MSR_BASE = 0xE00
+CHA_MSR_STRIDE = 0x10
+CHA_CTL0_OFFSET = 0x1            # counter-control registers
+CHA_CTR0_OFFSET = 0x8            # counter registers
+#: TOR_INSERTS opcode-filtered events standing in for DDIO hit/miss.
+CHA_EVT_DDIO_HIT = 0x35_01
+CHA_EVT_DDIO_MISS = 0x35_02
+
+
+def cha_ctl_msr(cha: int, counter: int) -> int:
+    return CHA_MSR_BASE + cha * CHA_MSR_STRIDE + CHA_CTL0_OFFSET + counter
+
+
+def cha_ctr_msr(cha: int, counter: int) -> int:
+    return CHA_MSR_BASE + cha * CHA_MSR_STRIDE + CHA_CTR0_OFFSET + counter
+
+
+@dataclass
+class HwPqos:
+    """pqos-compatible control plane over per-core MSR devices.
+
+    ``msr_of`` maps a core id to its MSR device (``LinuxMsr(core)`` on
+    real hardware).  ``num_ways``/``num_slices`` describe the LLC (11 /
+    18 on the paper's Xeon 6140).
+    """
+
+    msr_of: "dict[int, MsrDevice]"
+    num_ways: int = 11
+    num_slices: int = 18
+    sample_cha: int = 0
+    _groups: "dict[str, MonitoringGroup]" = field(default_factory=dict)
+    _last_ddio: "tuple[int, int]" = (0, 0)
+    _pmu_ready: "set[int]" = field(default_factory=set)
+    _cha_ready: bool = False
+
+    def _msr(self, core: int) -> MsrDevice:
+        try:
+            return self.msr_of[core]
+        except KeyError as exc:
+            raise ValueError(f"no MSR device for core {core}") from exc
+
+    def _msr0(self) -> MsrDevice:
+        return self._msr(min(self.msr_of))
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    def _setup_core_pmu(self, core: int) -> None:
+        if core in self._pmu_ready:
+            return
+        msr = self._msr(core)
+        msr.write(IA32_PERFEVTSEL0, EVT_LLC_REFERENCE)
+        msr.write(IA32_PERFEVTSEL1, EVT_LLC_MISS)
+        msr.write(IA32_FIXED_CTR_CTRL, FIXED_CTR_CTRL_ENABLE)
+        msr.write(IA32_PERF_GLOBAL_CTRL, GLOBAL_CTRL_ENABLE)
+        self._pmu_ready.add(core)
+
+    def _read_core_events(self, core: int) -> "dict[str, int]":
+        msr = self._msr(core)
+        return {"instructions": msr.read(IA32_FIXED_CTR0),
+                "cycles": msr.read(IA32_FIXED_CTR1),
+                "llc_references": msr.read(IA32_PMC0),
+                "llc_misses": msr.read(IA32_PMC1)}
+
+    def mon_start(self, name: str, cores) -> MonitoringGroup:
+        cores = tuple(cores)
+        if name in self._groups:
+            raise ValueError(f"monitoring group {name!r} already exists")
+        if not cores:
+            raise ValueError("a monitoring group needs at least one core")
+        for core in cores:
+            self._setup_core_pmu(core)
+        group = MonitoringGroup(name, cores)
+        group.last = self._aggregate(cores)
+        self._groups[name] = group
+        return group
+
+    def mon_stop(self, name: str) -> None:
+        self._groups.pop(name, None)
+
+    def _aggregate(self, cores) -> "dict":
+        total = {"instructions": 0, "cycles": 0,
+                 "llc_references": 0, "llc_misses": 0}
+        for core in cores:
+            values = self._read_core_events(core)
+            for key in total:
+                total[key] += values[key]
+        return total
+
+    def mon_poll(self, name: str) -> PollResult:
+        group = self._groups[name]
+        now = self._aggregate(group.cores)
+        result = PollResult(
+            instructions=now["instructions"] - group.last["instructions"],
+            cycles=now["cycles"] - group.last["cycles"],
+            llc_references=now["llc_references"]
+            - group.last["llc_references"],
+            llc_misses=now["llc_misses"] - group.last["llc_misses"])
+        group.last = now
+        return result
+
+    def _setup_cha(self) -> None:
+        if self._cha_ready:
+            return
+        msr = self._msr0()
+        msr.write(cha_ctl_msr(self.sample_cha, 0), CHA_EVT_DDIO_HIT)
+        msr.write(cha_ctl_msr(self.sample_cha, 1), CHA_EVT_DDIO_MISS)
+        self._cha_ready = True
+
+    def ddio_poll(self) -> "tuple[int, int]":
+        """One-slice CHA sample scaled by the slice count (Sec. V)."""
+        self._setup_cha()
+        msr = self._msr0()
+        hits = msr.read(cha_ctr_msr(self.sample_cha, 0)) * self.num_slices
+        misses = msr.read(cha_ctr_msr(self.sample_cha, 1)) * self.num_slices
+        delta = (hits - self._last_ddio[0], misses - self._last_ddio[1])
+        self._last_ddio = (hits, misses)
+        return delta
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc_set(self, cos_id: int, mask: int) -> None:
+        if mask == 0 or mask >> self.num_ways:
+            raise ValueError(f"CBM {mask:#x} invalid for "
+                             f"{self.num_ways} ways")
+        self._msr0().write(IA32_L3_QOS_MASK_BASE + cos_id, mask)
+
+    def alloc_get(self, cos_id: int) -> int:
+        return self._msr0().read(IA32_L3_QOS_MASK_BASE + cos_id)
+
+    def assoc_set(self, core: int, cos_id: int) -> None:
+        msr = self._msr(core)
+        current = msr.read(IA32_PQR_ASSOC)
+        msr.write(IA32_PQR_ASSOC,
+                  (current & 0xFFFF_FFFF) | (cos_id << 32))
+
+    def assoc_get(self, core: int) -> int:
+        return self._msr(core).read(IA32_PQR_ASSOC) >> 32
+
+    # ------------------------------------------------------------------
+    # MBA (extension; see repro.mem.mba for the simulated counterpart)
+    # ------------------------------------------------------------------
+    def mba_set(self, cos_id: int, percent: int) -> None:
+        if percent % 10 or not 0 <= percent <= 90:
+            raise ValueError(f"throttle {percent} is not a valid MBA step")
+        self._msr0().write(IA32_MBA_THRTL_BASE + cos_id, percent)
+
+    def mba_get(self, cos_id: int) -> int:
+        return self._msr0().read(IA32_MBA_THRTL_BASE + cos_id)
+
+    # ------------------------------------------------------------------
+    # DDIO
+    # ------------------------------------------------------------------
+    def ddio_get_mask(self) -> int:
+        return self._msr0().read(IIO_LLC_WAYS_MSR)
+
+    def ddio_set_mask(self, mask: int) -> None:
+        self._msr0().write(IIO_LLC_WAYS_MSR, mask)
+
+    def ddio_way_count(self) -> int:
+        return bin(self.ddio_get_mask()).count("1")
+
+    # ------------------------------------------------------------------
+    def reset_cost(self) -> float:
+        """Cost accounting is a simulator concern; real runs time
+        themselves (the daemon records wall time anyway)."""
+        return 0.0

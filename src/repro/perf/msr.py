@@ -1,0 +1,87 @@
+"""Model-specific register access: the interface and two backends.
+
+IAT manipulates DDIO through MSRs (paper Sec. V: "we write and read the
+DDIO-related MSRs via the msr kernel module").  We keep that shape: the
+daemon talks to an abstract :class:`MsrDevice`; the simulator provides
+:class:`SimMsr` (writes to ``IIO_LLC_WAYS`` reprogram the simulated DDIO
+mask), and :class:`LinuxMsr` is a skeleton of the real backend reading
+``/dev/cpu/<n>/msr`` for completeness — it is not exercised in CI since
+this machine has no Intel DDIO hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from abc import ABC, abstractmethod
+
+from ..cache.ddio import IIO_LLC_WAYS_MSR, DdioConfig
+
+
+class MsrError(OSError):
+    """Raised when an MSR access fails."""
+
+
+class MsrDevice(ABC):
+    """Minimal rdmsr/wrmsr surface."""
+
+    @abstractmethod
+    def read(self, register: int) -> int:
+        """Read a 64-bit MSR value."""
+
+    @abstractmethod
+    def write(self, register: int, value: int) -> None:
+        """Write a 64-bit MSR value."""
+
+
+class SimMsr(MsrDevice):
+    """Simulated MSR file backed by the platform's DDIO configuration.
+
+    Only ``IIO_LLC_WAYS`` has side effects; other registers behave as
+    plain 64-bit scratch storage, which is enough for the daemon and for
+    tests.
+    """
+
+    def __init__(self, ddio: DdioConfig) -> None:
+        self._ddio = ddio
+        self._scratch: "dict[int, int]" = {}
+
+    def read(self, register: int) -> int:
+        if register == IIO_LLC_WAYS_MSR:
+            return self._ddio.mask
+        return self._scratch.get(register, 0)
+
+    def write(self, register: int, value: int) -> None:
+        if value < 0 or value >> 64:
+            raise MsrError(f"value {value:#x} does not fit in 64 bits")
+        if register == IIO_LLC_WAYS_MSR:
+            self._ddio.set_mask(value)
+        else:
+            self._scratch[register] = value
+
+
+class LinuxMsr(MsrDevice):
+    """Real-hardware backend via the Linux ``msr`` kernel module.
+
+    Provided so the daemon could drive an actual Skylake-SP box; requires
+    root and ``modprobe msr``.  Untested in this repository's CI (no
+    Intel hardware available) — see DESIGN.md's substitution table.
+    """
+
+    def __init__(self, cpu: int = 0) -> None:
+        self.path = f"/dev/cpu/{cpu}/msr"
+        if not os.path.exists(self.path):
+            raise MsrError(f"{self.path} not present; is the msr module loaded?")
+
+    def read(self, register: int) -> int:
+        with open(self.path, "rb") as handle:
+            handle.seek(register)
+            data = handle.read(8)
+        if len(data) != 8:
+            raise MsrError(f"short read from MSR {register:#x}")
+        return struct.unpack("<Q", data)[0]
+
+    def write(self, register: int, value: int) -> None:
+        with open(self.path, "wb") as handle:
+            handle.seek(register)
+            handle.write(struct.pack("<Q", value))

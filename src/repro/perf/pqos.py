@@ -1,0 +1,185 @@
+"""pqos-like facade: the only surface the IAT daemon talks to.
+
+The released IAT artifact is a fork of Intel's ``pqos`` library extended
+with DDIO monitoring/allocation (https://github.com/FAST-UIUC/iat-pqos).
+This module mirrors that shape:
+
+* monitoring groups over sets of cores (CMT-style), polled for
+  instructions/cycles/LLC ref/LLC miss,
+* CAT operations (program a CLOS mask, associate a core),
+* DDIO way query/update via the MSR device, and
+* chip-wide DDIO hit/miss polling via one CHA slice.
+
+It also carries the *cost model* for Fig. 15: every counter read/write
+on real hardware costs a ring-0 transition through the msr driver, so
+the facade counts MSR operations per call and converts them to
+microseconds.  The daemon reports both this modelled cost and its actual
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cache.cat import CatController
+from ..cache.ddio import IIO_LLC_WAYS_MSR
+from .counters import CounterFile
+from .events import Event
+from .msr import MsrDevice
+from .uncore import ChaCounters
+
+#: Modelled cost of one MSR read/write from user space, microseconds.
+#: Dominated by the context switch into the msr driver (paper Sec. VI-D).
+MSR_OP_COST_US = 1.1
+
+#: Extra fixed cost per monitoring group per poll (file descriptors,
+#: bookkeeping); makes poll time grow with tenant count but sub-linearly
+#: with cores, as in Fig. 15.
+GROUP_POLL_COST_US = 2.0
+
+#: MSR operations needed to read the four core events on one core.
+MSR_OPS_PER_CORE_POLL = 4
+
+#: MSR operations to read DDIO hit+miss from one CHA.
+MSR_OPS_PER_UNCORE_POLL = 2
+
+
+@dataclass
+class MonitoringGroup:
+    """A CMT monitoring group: a named set of cores with last-poll state."""
+
+    name: str
+    cores: "tuple[int, ...]"
+    last: "dict[Event, int]" = field(default_factory=dict)
+
+
+@dataclass
+class PollResult:
+    """Delta-based view of one group's activity since the previous poll."""
+
+    instructions: int
+    cycles: int
+    llc_references: int
+    llc_misses: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.llc_references == 0:
+            return 0.0
+        return self.llc_misses / self.llc_references
+
+
+class PqosLib:
+    """Facade combining CMT monitoring, CAT allocation and DDIO control."""
+
+    def __init__(self, counters: CounterFile, uncore: ChaCounters,
+                 cat: CatController, msr: MsrDevice) -> None:
+        self._counters = counters
+        self._uncore = uncore
+        self._cat = cat
+        self._msr = msr
+        self._groups: "dict[str, MonitoringGroup]" = {}
+        self._last_ddio: "dict[Event, int]" = {Event.DDIO_HIT: 0,
+                                               Event.DDIO_MISS: 0}
+        #: Accumulated modelled cost (microseconds) since `reset_cost`.
+        self.modelled_cost_us = 0.0
+
+    # ------------------------------------------------------------------
+    # Monitoring (CMT-style)
+    # ------------------------------------------------------------------
+    def mon_start(self, name: str, cores) -> MonitoringGroup:
+        cores = tuple(cores)
+        if name in self._groups:
+            raise ValueError(f"monitoring group {name!r} already exists")
+        if not cores:
+            raise ValueError("a monitoring group needs at least one core")
+        group = MonitoringGroup(name, cores)
+        block = self._counters.aggregate(cores)
+        group.last = {Event.INSTRUCTIONS: block.instructions,
+                      Event.CYCLES: block.cycles,
+                      Event.LLC_REFERENCE: block.llc_references,
+                      Event.LLC_MISS: block.llc_misses}
+        self._groups[name] = group
+        return group
+
+    def mon_stop(self, name: str) -> None:
+        self._groups.pop(name, None)
+
+    def mon_poll(self, name: str) -> PollResult:
+        """Poll one group; values are deltas since the previous poll."""
+        group = self._groups[name]
+        self.modelled_cost_us += (GROUP_POLL_COST_US +
+                                  len(group.cores) * MSR_OPS_PER_CORE_POLL
+                                  * MSR_OP_COST_US)
+        block = self._counters.aggregate(group.cores)
+        now = {Event.INSTRUCTIONS: block.instructions,
+               Event.CYCLES: block.cycles,
+               Event.LLC_REFERENCE: block.llc_references,
+               Event.LLC_MISS: block.llc_misses}
+        result = PollResult(
+            instructions=now[Event.INSTRUCTIONS] - group.last[Event.INSTRUCTIONS],
+            cycles=now[Event.CYCLES] - group.last[Event.CYCLES],
+            llc_references=now[Event.LLC_REFERENCE] - group.last[Event.LLC_REFERENCE],
+            llc_misses=now[Event.LLC_MISS] - group.last[Event.LLC_MISS])
+        group.last = now
+        return result
+
+    def ddio_poll(self) -> "tuple[int, int]":
+        """Chip-wide (DDIO hit, DDIO miss) deltas since the previous poll.
+
+        Reads one CHA slice and scales by the slice count, like the real
+        daemon (Sec. V).
+        """
+        self.modelled_cost_us += MSR_OPS_PER_UNCORE_POLL * MSR_OP_COST_US
+        sample = self._uncore.sample()
+        hits = sample.hits - self._last_ddio[Event.DDIO_HIT]
+        misses = sample.misses - self._last_ddio[Event.DDIO_MISS]
+        self._last_ddio = {Event.DDIO_HIT: sample.hits,
+                           Event.DDIO_MISS: sample.misses}
+        return hits, misses
+
+    # ------------------------------------------------------------------
+    # Allocation (CAT-style)
+    # ------------------------------------------------------------------
+    def alloc_set(self, cos_id: int, mask: int) -> None:
+        self.modelled_cost_us += MSR_OP_COST_US
+        self._cat.set_mask(cos_id, mask)
+
+    def alloc_get(self, cos_id: int) -> int:
+        self.modelled_cost_us += MSR_OP_COST_US
+        return self._cat.get_mask(cos_id)
+
+    def assoc_set(self, core: int, cos_id: int) -> None:
+        self.modelled_cost_us += MSR_OP_COST_US
+        self._cat.associate(core, cos_id)
+
+    def assoc_get(self, core: int) -> int:
+        return self._cat.cos_of(core)
+
+    # ------------------------------------------------------------------
+    # DDIO control (the iat-pqos extension)
+    # ------------------------------------------------------------------
+    def ddio_get_mask(self) -> int:
+        self.modelled_cost_us += MSR_OP_COST_US
+        return self._msr.read(IIO_LLC_WAYS_MSR)
+
+    def ddio_set_mask(self, mask: int) -> None:
+        self.modelled_cost_us += MSR_OP_COST_US
+        self._msr.write(IIO_LLC_WAYS_MSR, mask)
+
+    def ddio_way_count(self) -> int:
+        return bin(self.ddio_get_mask()).count("1")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_ways(self) -> int:
+        return self._cat.num_ways
+
+    def reset_cost(self) -> float:
+        """Return and clear the accumulated modelled cost (microseconds)."""
+        cost, self.modelled_cost_us = self.modelled_cost_us, 0.0
+        return cost

@@ -1,0 +1,12 @@
+"""Simulation engine: platform assembly, quantum loop, metrics."""
+
+from .config import TINY_PLATFORM, XEON_6140, PlatformSpec
+from .engine import Simulation, TenantBinding, TrafficBinding
+from .metrics import MetricsRecorder, QuantumRecord, TenantSnapshot
+from .platform import Platform
+
+__all__ = [
+    "MetricsRecorder", "Platform", "PlatformSpec", "QuantumRecord",
+    "Simulation", "TINY_PLATFORM", "TenantBinding", "TenantSnapshot",
+    "TrafficBinding", "XEON_6140",
+]

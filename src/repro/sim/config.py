@@ -1,0 +1,57 @@
+"""Platform specifications (the paper's Table I) and simulation scaling.
+
+The reproduction keeps the cache geometry and all memory footprints at
+full size while running *rates* (core cycles/second and packets/second)
+at ``time_scale`` of real time.  Ring and LLC occupancy depend only on
+producer/consumer rate ratios, which scaling preserves, so contention
+behaviour is unchanged while Python-level simulation stays tractable
+(see DESIGN.md).  Reported bandwidths and rates are un-scaled back to
+real-time equivalents by the reporting helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cache.geometry import CacheGeometry, TINY_LLC, XEON_6140_LLC
+from ..mem.dram import MemorySpec
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Static description of one CPU package plus simulation knobs."""
+
+    name: str
+    cores: int = 18
+    freq_hz: float = 2.3e9
+    llc: CacheGeometry = field(default_factory=lambda: XEON_6140_LLC)
+    mem: MemorySpec = field(default_factory=MemorySpec)
+    #: Fraction of real-time rates the simulator runs at.
+    time_scale: float = 1e-3
+    #: Simulated seconds per engine quantum.
+    quantum_s: float = 0.1
+    #: Producer/consumer interleaving steps per quantum.
+    subquanta: int = 5
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("need at least one core")
+        if not 0 < self.time_scale <= 1:
+            raise ValueError("time_scale must be in (0, 1]")
+        if self.quantum_s <= 0 or self.subquanta < 1:
+            raise ValueError("bad quantum configuration")
+
+    @property
+    def cycles_per_quantum(self) -> float:
+        """Per-core cycle budget for one quantum (already time-scaled)."""
+        return self.freq_hz * self.time_scale * self.quantum_s
+
+
+#: The paper's testbed CPU (Table I): Xeon Gold 6140, 18 cores @ 2.3 GHz,
+#: 11-way 24.75 MB LLC in 18 slices, six DDR4-2666 channels.
+XEON_6140 = PlatformSpec(name="Xeon Gold 6140")
+
+#: A small platform for unit tests: same 11-way geometry (so CAT/DDIO
+#: masks behave identically) but a tiny LLC and few cores.
+TINY_PLATFORM = PlatformSpec(name="tiny", cores=6, llc=TINY_LLC,
+                             quantum_s=0.05, subquanta=2)

@@ -1,0 +1,241 @@
+"""The discrete-time simulation engine.
+
+Time advances in quanta (default 0.1 s simulated).  Each quantum is
+split into sub-steps that interleave the producer (NIC DMA through
+DDIO) with the consumers (workloads draining rings / issuing memory
+accesses), which is what lets ring backlog, Leaky DMA evictions and
+packet drops emerge rather than being scripted.
+
+Controllers (the IAT daemon, or the baseline policies of
+:mod:`repro.core.policies`) are invoked on their own interval — 1 s for
+IAT, per Table II — mirroring the daemon's sleep loop.  Scheduled
+events support the paper's phase scripts ("at t1 a large number of
+flows appear...", Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..net.traffic import PhasedTraffic, TrafficGen, TrafficSpec
+from ..pci.nic import Nic, VirtualFunction
+from ..tenants.tenant import Tenant, TenantSet
+from ..workloads.base import CorePort, Workload
+from .metrics import MetricsRecorder, QuantumRecord, TenantSnapshot
+from .platform import Platform
+
+
+class Controller(Protocol):
+    """A control-plane agent invoked periodically by the engine."""
+
+    interval_s: float
+
+    def on_start(self, now: float) -> None: ...
+
+    def on_interval(self, now: float) -> None: ...
+
+
+@dataclass
+class TenantBinding:
+    """A tenant together with its workload and core ports."""
+
+    tenant: Tenant
+    workload: Workload
+    ports: "list[CorePort]"
+    owner_id: int
+
+
+@dataclass
+class TrafficBinding:
+    """Traffic offered to one VF, possibly phase-scripted."""
+
+    nic: Nic
+    vf: VirtualFunction
+    gen: TrafficGen
+    phased: "PhasedTraffic | None" = None
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: "Callable[[], None]" = field(compare=False)
+
+
+class Simulation:
+    """Builds and runs one multi-tenant scenario on a platform."""
+
+    def __init__(self, platform: Platform, *, seed: int = 2021) -> None:
+        self.platform = platform
+        self.bindings: "list[TenantBinding]" = []
+        self.traffic: "list[TrafficBinding]" = []
+        self.controllers: "list[Controller]" = []
+        self._controller_due: "list[float]" = []
+        self._events: "list[_Event]" = []
+        self._event_seq = 0
+        self.metrics = MetricsRecorder()
+        self.now = 0.0
+        self._seed_seq = np.random.SeedSequence(seed)
+        self._counter_last: "dict[str, tuple[int, int, int, int]]" = {}
+        self._ddio_last = (0, 0)
+        self._vf_last: "dict[str, tuple[int, int]]" = {}
+
+    # ------------------------------------------------------------------
+    # Scenario construction
+    # ------------------------------------------------------------------
+    def _spawn_rng(self) -> "np.random.Generator":
+        return np.random.default_rng(self._seed_seq.spawn(1)[0])
+
+    def add_tenant(self, tenant: Tenant, workload: Workload, *,
+                   region_bytes: int = 1 << 30) -> TenantBinding:
+        """Register a tenant: assign a CLOS, ports, and a memory region."""
+        owner_id = len(self.bindings) + 1
+        tenant.cos_id = owner_id
+        for core in tenant.cores:
+            self.platform.cat.associate(core, tenant.cos_id)
+        ports = [self.platform.core_port(core, owner_id)
+                 for core in tenant.cores]
+        workload.time_scale = self.platform.spec.time_scale
+        workload.bind(ports, self.platform.alloc_region(region_bytes),
+                      self._spawn_rng())
+        binding = TenantBinding(tenant, workload, ports, owner_id)
+        self.bindings.append(binding)
+        return binding
+
+    def tenant_set(self) -> TenantSet:
+        return TenantSet([b.tenant for b in self.bindings])
+
+    def attach_traffic(self, nic: Nic, vf: VirtualFunction,
+                       traffic: "TrafficSpec | PhasedTraffic") -> TrafficBinding:
+        """Offer traffic to a VF (rates already time-scaled by caller)."""
+        phased = traffic if isinstance(traffic, PhasedTraffic) else None
+        spec = phased.spec_at(0.0) if phased else traffic
+        binding = TrafficBinding(nic, vf, TrafficGen(spec, self._spawn_rng()),
+                                 phased)
+        self.traffic.append(binding)
+        return binding
+
+    def add_controller(self, controller: Controller) -> None:
+        self.controllers.append(controller)
+        self._controller_due.append(controller.interval_s)
+
+    def at(self, time: float, action: "Callable[[], None]") -> None:
+        """Schedule a phase-change callback at simulated ``time``."""
+        self._events.append(_Event(time, self._event_seq, action))
+        self._event_seq += 1
+        self._events.sort()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float) -> MetricsRecorder:
+        """Advance the simulation by ``duration_s`` simulated seconds."""
+        spec = self.platform.spec
+        if self.now == 0.0:
+            for controller in self.controllers:
+                controller.on_start(0.0)
+            for binding in self.bindings:
+                binding.workload.prefill()
+            self._prime_counter_baselines()
+        end = self.now + duration_s
+        dt = spec.quantum_s
+        while self.now < end - 1e-12:
+            self._run_quantum(dt)
+        return self.metrics
+
+    def _run_quantum(self, dt: float) -> None:
+        spec = self.platform.spec
+        self._fire_events()
+        self.platform.mem.begin_window(dt)
+        for binding in self.bindings:
+            binding.workload.begin_quantum(self.now)
+        sub_dt = dt / spec.subquanta
+        budget = spec.cycles_per_quantum / spec.subquanta
+        for sub in range(spec.subquanta):
+            sub_now = self.now + sub * sub_dt
+            self._deliver_traffic(sub_dt, sub_now)
+            for binding in self.bindings:
+                binding.workload.run(budget, sub_now)
+        window_bytes = self.platform.mem.end_window()
+        self.now += dt
+        self._record_quantum(window_bytes)
+        self._run_controllers()
+
+    def _fire_events(self) -> None:
+        while self._events and self._events[0].time <= self.now + 1e-12:
+            self._events.pop(0).action()
+
+    def _deliver_traffic(self, dt: float, now: float) -> None:
+        platform = self.platform
+        for binding in self.traffic:
+            if binding.phased is not None:
+                spec = binding.phased.spec_at(now)
+                if spec is not binding.gen.spec:
+                    binding.gen.set_spec(spec)
+            count = binding.gen.packets(dt)
+            if count == 0:
+                continue
+            flows = binding.gen.flow_ids(count)
+            size = binding.gen.spec.packet_size
+            for flow in flows.tolist():
+                binding.nic.dma_packet(binding.vf, size, int(flow),
+                                       platform.llc, platform.ddio.mask,
+                                       platform.mem, platform.uncore, now)
+
+    def _run_controllers(self) -> None:
+        for i, controller in enumerate(self.controllers):
+            if self.now + 1e-9 >= self._controller_due[i]:
+                controller.on_interval(self.now)
+                self._controller_due[i] += controller.interval_s
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _prime_counter_baselines(self) -> None:
+        for binding in self.bindings:
+            block = self.platform.counters.aggregate(binding.tenant.cores)
+            self._counter_last[binding.tenant.name] = (
+                block.instructions, block.cycles,
+                block.llc_references, block.llc_misses)
+        exact = self.platform.uncore.exact()
+        self._ddio_last = (exact.hits, exact.misses)
+        for traffic in self.traffic:
+            self._vf_last[traffic.vf.name] = (traffic.vf.delivered,
+                                              traffic.vf.drops)
+
+    def _record_quantum(self, window_bytes: "tuple[int, int]") -> None:
+        tenants: "dict[str, TenantSnapshot]" = {}
+        for binding in self.bindings:
+            name = binding.tenant.name
+            block = self.platform.counters.aggregate(binding.tenant.cores)
+            last = self._counter_last.get(name, (0, 0, 0, 0))
+            d_instr = block.instructions - last[0]
+            d_cycles = block.cycles - last[1]
+            tenants[name] = TenantSnapshot(
+                ipc=d_instr / d_cycles if d_cycles else 0.0,
+                llc_references=block.llc_references - last[2],
+                llc_misses=block.llc_misses - last[3],
+                mask=self.platform.cat.get_mask(binding.tenant.cos_id))
+            self._counter_last[name] = (block.instructions, block.cycles,
+                                        block.llc_references,
+                                        block.llc_misses)
+        exact = self.platform.uncore.exact()
+        d_hits = exact.hits - self._ddio_last[0]
+        d_misses = exact.misses - self._ddio_last[1]
+        self._ddio_last = (exact.hits, exact.misses)
+        read_bytes, write_bytes = window_bytes
+        record = QuantumRecord(time=self.now, tenants=tenants,
+                               ddio_hits=d_hits, ddio_misses=d_misses,
+                               ddio_mask=self.platform.ddio.mask,
+                               mem_read_bytes=read_bytes,
+                               mem_write_bytes=write_bytes)
+        for traffic in self.traffic:
+            name = traffic.vf.name
+            last = self._vf_last.get(name, (0, 0))
+            record.vf_delivered[name] = traffic.vf.delivered - last[0]
+            record.vf_dropped[name] = traffic.vf.drops - last[1]
+            self._vf_last[name] = (traffic.vf.delivered, traffic.vf.drops)
+        self.metrics.append(record)

@@ -1,0 +1,120 @@
+"""Per-quantum time-series recording.
+
+The recorder is the reproduction's "independent pqos process" (the paper
+runs one to plot Fig. 11): it snapshots ground-truth counters every
+quantum, independent of the IAT daemon's own delta polling, and exposes
+numpy series for the experiment harnesses.  Runs can be exported to
+JSON (lossless round trip) or CSV (for external plotting).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TenantSnapshot:
+    """One tenant's activity during one quantum (deltas, not totals)."""
+
+    ipc: float
+    llc_references: int
+    llc_misses: int
+    mask: int
+
+
+@dataclass
+class QuantumRecord:
+    """Everything recorded for one quantum."""
+
+    time: float
+    tenants: "dict[str, TenantSnapshot]"
+    ddio_hits: int
+    ddio_misses: int
+    ddio_mask: int
+    mem_read_bytes: int
+    mem_write_bytes: int
+    vf_delivered: "dict[str, int]" = field(default_factory=dict)
+    vf_dropped: "dict[str, int]" = field(default_factory=dict)
+
+
+class MetricsRecorder:
+    """Accumulates :class:`QuantumRecord` objects and exports series."""
+
+    def __init__(self) -> None:
+        self.records: "list[QuantumRecord]" = []
+
+    def append(self, record: QuantumRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- series extraction ------------------------------------------------
+    def times(self) -> "np.ndarray":
+        return np.array([r.time for r in self.records])
+
+    def series(self, extractor) -> "np.ndarray":
+        return np.array([extractor(r) for r in self.records])
+
+    def tenant_series(self, name: str, attr: str) -> "np.ndarray":
+        return np.array([getattr(r.tenants[name], attr)
+                         for r in self.records])
+
+    def ddio_hits(self) -> "np.ndarray":
+        return self.series(lambda r: r.ddio_hits)
+
+    def ddio_misses(self) -> "np.ndarray":
+        return self.series(lambda r: r.ddio_misses)
+
+    def mem_bytes(self) -> "np.ndarray":
+        return self.series(lambda r: r.mem_read_bytes + r.mem_write_bytes)
+
+    def window(self, t0: float, t1: float) -> "list[QuantumRecord]":
+        """Records with ``t0 <= time < t1``."""
+        return [r for r in self.records if t0 <= r.time < t1]
+
+    def total_ddio(self) -> "tuple[int, int]":
+        return (int(self.ddio_hits().sum()), int(self.ddio_misses().sum()))
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self) -> str:
+        """Lossless JSON dump of every record."""
+        return json.dumps([asdict(r) for r in self.records])
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRecorder":
+        recorder = cls()
+        for raw in json.loads(text):
+            tenants = {name: TenantSnapshot(**snap)
+                       for name, snap in raw.pop("tenants").items()}
+            recorder.append(QuantumRecord(tenants=tenants, **raw))
+        return recorder
+
+    def to_csv(self) -> str:
+        """Flat CSV: one row per quantum, tenant columns prefixed."""
+        if not self.records:
+            return ""
+        names = sorted(self.records[0].tenants)
+        header = (["time", "ddio_hits", "ddio_misses", "ddio_mask",
+                   "mem_read_bytes", "mem_write_bytes"]
+                  + [f"{n}.{attr}" for n in names
+                     for attr in ("ipc", "llc_references", "llc_misses",
+                                  "mask")])
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(header)
+        for record in self.records:
+            row = [record.time, record.ddio_hits, record.ddio_misses,
+                   record.ddio_mask, record.mem_read_bytes,
+                   record.mem_write_bytes]
+            for name in names:
+                snap = record.tenants[name]
+                row += [snap.ipc, snap.llc_references, snap.llc_misses,
+                        snap.mask]
+            writer.writerow(row)
+        return buffer.getvalue()

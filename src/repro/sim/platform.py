@@ -1,0 +1,95 @@
+"""Platform assembly: wires the LLC, memory, counters, MSRs and NICs.
+
+A :class:`Platform` is one simulated server socket.  It owns:
+
+* the sliced LLC with its CAT controller and DDIO configuration,
+* the memory controller,
+* per-core counters and per-slice CHA uncore counters,
+* a simulated MSR device and the pqos facade over all of the above,
+* a bump allocator for the simulated physical address space (each
+  workload region, vswitch table, virtio ring and NIC buffer pool gets a
+  disjoint range), and
+* the NICs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cache.cat import CatController
+from ..cache.ddio import DdioConfig
+from ..cache.llc import SlicedLLC
+from ..mem.dram import MemoryController
+from ..mem.mba import MbaController
+from ..pci.nic import Nic
+from ..perf.counters import CounterFile
+from ..perf.msr import SimMsr
+from ..perf.pqos import PqosLib
+from ..perf.uncore import ChaCounters
+from ..workloads.base import CorePort
+from .config import PlatformSpec
+
+#: Base of the simulated physical region handed to workloads/devices.
+_REGION_START = 1 << 34
+#: Alignment/padding between regions so neighbours never share a line.
+_REGION_ALIGN = 1 << 21
+
+
+@dataclass
+class Platform:
+    """One simulated socket: caches, memory, counters, devices."""
+
+    spec: PlatformSpec
+    llc: SlicedLLC = field(init=False)
+    cat: CatController = field(init=False)
+    ddio: DdioConfig = field(init=False)
+    msr: SimMsr = field(init=False)
+    counters: CounterFile = field(init=False)
+    uncore: ChaCounters = field(init=False)
+    mem: MemoryController = field(init=False)
+    mba: MbaController = field(init=False)
+    pqos: PqosLib = field(init=False)
+    nics: "list[Nic]" = field(default_factory=list)
+    _next_region: int = _REGION_START
+
+    def __post_init__(self) -> None:
+        spec = self.spec
+        self.llc = SlicedLLC(spec.llc)
+        # Real Skylake-SP exposes 16 CLOS; allow more on simulated
+        # platforms with more tenants than that (e.g. the Fig. 15
+        # overhead sweep) so every tenant still gets its own class.
+        self.cat = CatController(num_ways=spec.llc.ways,
+                                 num_cos=max(16, spec.cores + 2))
+        self.ddio = DdioConfig(spec.llc)
+        self.msr = SimMsr(self.ddio)
+        self.counters = CounterFile(num_cores=spec.cores)
+        self.uncore = ChaCounters(spec.llc)
+        self.mem = MemoryController(spec=spec.mem, time_scale=spec.time_scale)
+        self.mba = MbaController(num_cos=self.cat.num_cos)
+        self.pqos = PqosLib(self.counters, self.uncore, self.cat, self.msr)
+
+    # ------------------------------------------------------------------
+    def alloc_region(self, size_bytes: int) -> int:
+        """Reserve a disjoint address range; returns its base address."""
+        if size_bytes < 1:
+            raise ValueError("region size must be positive")
+        base = self._next_region
+        padded = -(-size_bytes // _REGION_ALIGN) * _REGION_ALIGN
+        self._next_region += padded + _REGION_ALIGN
+        return base
+
+    def add_nic(self, name: str, link_gbps: float,
+                region_size: int = 1 << 28) -> Nic:
+        """Attach a NIC with its own buffer address region."""
+        nic = Nic(name=name, link_gbps=link_gbps,
+                  region_base=self.alloc_region(region_size),
+                  region_size=region_size)
+        self.nics.append(nic)
+        return nic
+
+    def core_port(self, core_id: int, owner: int) -> CorePort:
+        """Build the memory-hierarchy port for one core."""
+        if not 0 <= core_id < self.spec.cores:
+            raise ValueError(f"core {core_id} outside 0..{self.spec.cores - 1}")
+        return CorePort(core_id, owner, self.llc, self.cat, self.mem,
+                        self.counters.core(core_id), mba=self.mba)

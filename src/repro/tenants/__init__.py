@@ -1,0 +1,10 @@
+"""Tenant model (PC/BE priorities) and the text-file affiliation registry."""
+
+from .registry import (RegistryError, TenantRegistry, format_records,
+                       parse_records)
+from .tenant import Priority, Tenant, TenantSet
+
+__all__ = [
+    "Priority", "RegistryError", "Tenant", "TenantRegistry", "TenantSet",
+    "format_records", "parse_records",
+]

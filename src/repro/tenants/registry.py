@@ -1,0 +1,108 @@
+"""Tenant affiliation records in a text file, as in the paper (Sec. V):
+
+    "For simplicity, we keep such affiliation records in a text file.
+     When the daemon is starting or is notified of a change, it will
+     parse the records from this file."
+
+Format (one tenant per line, ``#`` comments allowed)::
+
+    <name> cores=<c0,c1,...> priority=<PC|BE|STACK> io=<yes|no> [ways=<n>]
+
+The registry remembers the file's mtime so the daemon can cheaply detect
+changes between sleep intervals (Sec. IV-E: "after each sleep, if IAT is
+informed about changes of tenants ... it will go through the Get Tenant
+Info and LLC Alloc steps").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from .tenant import Priority, Tenant, TenantSet
+
+
+class RegistryError(ValueError):
+    """Raised for malformed affiliation records."""
+
+
+def _parse_line(line: str, lineno: int) -> Tenant:
+    parts = line.split()
+    if len(parts) < 2:
+        raise RegistryError(f"line {lineno}: expected '<name> key=value...'")
+    name, fields = parts[0], parts[1:]
+    values: "dict[str, str]" = {}
+    for fld in fields:
+        if "=" not in fld:
+            raise RegistryError(f"line {lineno}: bad field {fld!r}")
+        key, _, value = fld.partition("=")
+        values[key] = value
+    if "cores" not in values:
+        raise RegistryError(f"line {lineno}: missing cores=")
+    try:
+        cores = tuple(int(c) for c in values["cores"].split(",") if c)
+    except ValueError as exc:
+        raise RegistryError(f"line {lineno}: bad core list") from exc
+    prio_name = values.get("priority", "BE").upper()
+    try:
+        priority = Priority[prio_name]
+    except KeyError as exc:
+        raise RegistryError(
+            f"line {lineno}: unknown priority {prio_name!r}") from exc
+    is_io = values.get("io", "no").lower() in ("yes", "true", "1")
+    ways = int(values.get("ways", "1"))
+    group = values.get("group") or None
+    return Tenant(name=name, cores=cores, priority=priority, is_io=is_io,
+                  initial_ways=ways, share_group=group)
+
+
+def parse_records(text: str) -> TenantSet:
+    """Parse affiliation records from a string."""
+    tenants = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tenants.append(_parse_line(line, lineno))
+    return TenantSet(tenants)
+
+
+def format_records(tenants: TenantSet) -> str:
+    """Render a tenant set back to the file format (round-trips parse)."""
+    lines = []
+    for tenant in tenants:
+        io_flag = "yes" if tenant.is_io else "no"
+        cores = ",".join(str(c) for c in tenant.cores)
+        line = (f"{tenant.name} cores={cores} "
+                f"priority={tenant.priority.name} io={io_flag} "
+                f"ways={tenant.initial_ways}")
+        if tenant.share_group:
+            line += f" group={tenant.share_group}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class TenantRegistry:
+    """File-backed tenant registry with change detection."""
+
+    path: str
+    _mtime: float = -1.0
+
+    def load(self) -> TenantSet:
+        with open(self.path) as handle:
+            text = handle.read()
+        self._mtime = os.path.getmtime(self.path)
+        return parse_records(text)
+
+    def save(self, tenants: TenantSet) -> None:
+        with open(self.path, "w") as handle:
+            handle.write(format_records(tenants))
+        self._mtime = os.path.getmtime(self.path)
+
+    def changed(self) -> bool:
+        """True if the file was modified since the last load/save."""
+        try:
+            return os.path.getmtime(self.path) != self._mtime
+        except OSError:
+            return True

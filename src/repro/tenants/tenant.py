@@ -1,0 +1,140 @@
+"""Tenant model: cores, priority class, and I/O character.
+
+IAT needs exactly three facts about each tenant (paper Sec. IV-A):
+
+* which cores (and hence which CLOS) it owns,
+* whether its workload is "I/O" (networking) or not, and
+* its priority — performance-critical (PC) or best-effort (BE), plus a
+  special priority for the aggregation model's software stack (OVS),
+  which is not a tenant but is tracked like one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Priority(enum.Enum):
+    """Workload priority classes (Sec. IV-A)."""
+
+    PC = "performance-critical"
+    BE = "best-effort"
+    STACK = "software-stack"
+
+
+@dataclass
+class Tenant:
+    """One tenant (container/VM) or the centralized software stack."""
+
+    name: str
+    cores: "tuple[int, ...]"
+    priority: Priority = Priority.BE
+    is_io: bool = False
+    cos_id: int = 0
+    #: Way count the tenant was initially granted (used for reclaim floors).
+    initial_ways: int = 1
+    #: Tenants with the same ``share_group`` share one way mask (the
+    #: paper's setups often give several containers a common region,
+    #: e.g. "the OVS and two Redis containers share three LLC ways").
+    share_group: "str | None" = None
+
+    def __post_init__(self) -> None:
+        self.cores = tuple(self.cores)
+        if not self.cores:
+            raise ValueError(f"tenant {self.name!r} needs at least one core")
+        if len(set(self.cores)) != len(self.cores):
+            raise ValueError(f"tenant {self.name!r} lists a core twice")
+
+    @property
+    def group(self) -> str:
+        """Allocation-group key: shared group name, or the tenant name."""
+        return self.share_group or self.name
+
+    @property
+    def is_stack(self) -> bool:
+        return self.priority is Priority.STACK
+
+    @property
+    def is_pc(self) -> bool:
+        return self.priority is Priority.PC
+
+    @property
+    def is_be(self) -> bool:
+        return self.priority is Priority.BE
+
+
+@dataclass
+class TenantSet:
+    """A validated collection of tenants sharing one CPU package."""
+
+    tenants: "list[Tenant]" = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate tenant names")
+        seen_cores: "set[int]" = set()
+        for tenant in self.tenants:
+            overlap = seen_cores & set(tenant.cores)
+            if overlap:
+                raise ValueError(
+                    f"cores {sorted(overlap)} assigned to multiple tenants")
+            seen_cores |= set(tenant.cores)
+
+    def __iter__(self):
+        return iter(self.tenants)
+
+    def __len__(self) -> int:
+        return len(self.tenants)
+
+    def by_name(self, name: str) -> Tenant:
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        raise KeyError(name)
+
+    @property
+    def io_tenants(self) -> "list[Tenant]":
+        return [t for t in self.tenants if t.is_io]
+
+    @property
+    def be_tenants(self) -> "list[Tenant]":
+        return [t for t in self.tenants if t.is_be]
+
+    @property
+    def stack(self) -> "Tenant | None":
+        for tenant in self.tenants:
+            if tenant.is_stack:
+                return tenant
+        return None
+
+    @property
+    def all_cores(self) -> "list[int]":
+        return sorted(c for t in self.tenants for c in t.cores)
+
+    # -- allocation groups -------------------------------------------------
+    def group_names(self) -> "list[str]":
+        """Distinct allocation groups in registration order."""
+        seen: "list[str]" = []
+        for tenant in self.tenants:
+            if tenant.group not in seen:
+                seen.append(tenant.group)
+        return seen
+
+    def group_members(self, group: str) -> "list[Tenant]":
+        return [t for t in self.tenants if t.group == group]
+
+    def group_priority(self, group: str) -> Priority:
+        """Strongest priority among a group's members (STACK > PC > BE)."""
+        members = self.group_members(group)
+        if not members:
+            raise KeyError(group)
+        if any(t.is_stack for t in members):
+            return Priority.STACK
+        if any(t.is_pc for t in members):
+            return Priority.PC
+        return Priority.BE

@@ -1,0 +1,8 @@
+"""Aggregation-model virtual switch (OVS-DPDK style)."""
+
+from .flowtable import (EMC_ENTRIES, FlowTables, LookupResult,
+                        MEGAFLOW_PROBES)
+from .ovs import OvsDataplane
+
+__all__ = ["EMC_ENTRIES", "FlowTables", "LookupResult", "MEGAFLOW_PROBES",
+           "OvsDataplane"]

@@ -1,0 +1,23 @@
+"""Workload models: the paper's micro- and macro-benchmarks."""
+
+from .base import CorePort, L2_HIT_CYCLES, LLC_HIT_CYCLES, Workload, WorkloadStats
+from .l3fwd import L3Fwd
+from .netbase import RingConsumer
+from .nfv import NfvChain
+from .redis import RedisServer
+from .rocksdb import RocksDb
+from .spec import CACHE_HEAVY, SPEC_PROFILES, SpecProfile, SpecWorkload
+from .testpmd import TestPmd
+from .xmem import XMem
+from .ycsb import (ALL_WORKLOADS, DEFAULT_ZIPF_THETA, OpType, REDIS_WORKLOADS,
+                   WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D, WORKLOAD_E,
+                   WORKLOAD_F, YcsbMix, YcsbOpStream)
+
+__all__ = [
+    "ALL_WORKLOADS", "CACHE_HEAVY", "CorePort", "DEFAULT_ZIPF_THETA",
+    "L2_HIT_CYCLES", "L3Fwd", "LLC_HIT_CYCLES", "NfvChain", "OpType",
+    "REDIS_WORKLOADS", "RedisServer", "RingConsumer", "RocksDb",
+    "SPEC_PROFILES", "SpecProfile", "SpecWorkload", "TestPmd", "WORKLOAD_A",
+    "WORKLOAD_B", "WORKLOAD_C", "WORKLOAD_D", "WORKLOAD_E", "WORKLOAD_F",
+    "Workload", "WorkloadStats", "XMem", "YcsbMix", "YcsbOpStream",
+]

@@ -1,0 +1,226 @@
+"""Workload execution model: core ports, cycle accounting, latencies.
+
+Workloads in this reproduction are *memory-behaviour models*: each one
+issues a stream of LLC-level accesses (its post-L2 miss stream) into the
+simulated cache through a :class:`CorePort`, paying per-access latencies
+that in turn determine how many operations fit into a core's cycle
+budget.  IPC, LLC reference/miss counts, throughput, and latency all
+emerge from this loop — they are not scripted.
+
+The latency constants approximate Skylake-SP: ~14 cycles L2 hit, ~44
+cycles LLC hit, DRAM latency from the (utilization-aware) memory model.
+``mlp`` expresses memory-level parallelism: independent misses overlap,
+so the charged stall is ``dram_latency / mlp``; a dependent pointer
+chase has ``mlp = 1``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cache.cat import CatController
+from ..cache.llc import SlicedLLC
+from ..mem.dram import MemoryController
+from ..perf.counters import CoreCounterBlock
+
+#: Cycles for an access served by the (modelled) L2.
+L2_HIT_CYCLES = 14.0
+
+#: Cycles for an access served by the LLC.
+LLC_HIT_CYCLES = 44.0
+
+
+class CorePort:
+    """One core's path into the memory hierarchy.
+
+    Binds together the LLC (with the core's current CAT mask), the
+    memory controller, and the core's counter block.  ``begin_quantum``
+    caches the mask and the current DRAM latency so the per-access hot
+    path stays cheap; controllers only reprogram masks between quanta,
+    so this is exact.
+    """
+
+    __slots__ = ("core_id", "owner", "_llc", "_cat", "_mem", "_mba",
+                 "block", "_mask", "_dram_cycles", "_line")
+
+    def __init__(self, core_id: int, owner: int, llc: SlicedLLC,
+                 cat: CatController, mem: MemoryController,
+                 block: CoreCounterBlock, mba=None) -> None:
+        self.core_id = core_id
+        self.owner = owner
+        self._llc = llc
+        self._cat = cat
+        self._mem = mem
+        self._mba = mba
+        self.block = block
+        self._line = llc.geometry.line_size
+        self._mask = cat.mask_of_core(core_id)
+        self._dram_cycles = mem.spec.idle_latency_cycles
+
+    def begin_quantum(self) -> None:
+        """Refresh cached mask and DRAM latency at a quantum boundary."""
+        self._mask = self._cat.mask_of_core(self.core_id)
+        self._dram_cycles = self._mem.load_latency_cycles()
+        if self._mba is not None:
+            # MBA extension: a throttled class pays stretched DRAM time.
+            cos = self._cat.cos_of(self.core_id)
+            self._dram_cycles *= self._mba.delay_factor(cos)
+
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    def access(self, addr: int, *, write: bool = False,
+               mlp: float = 1.0) -> float:
+        """One LLC-level access; returns the charged latency in cycles.
+
+        ``mlp`` models memory-level parallelism: independent or
+        prefetched accesses (streaming a packet buffer, copying a value)
+        overlap, so both the hit latency and the DRAM penalty are
+        divided by it.  A dependent pointer chase passes ``mlp=1``.
+        """
+        out = self._llc.access(addr, self._mask, write=write,
+                               owner=self.owner)
+        block = self.block
+        block.llc_references += 1
+        if out.hit:
+            return LLC_HIT_CYCLES / mlp
+        block.llc_misses += 1
+        line = self._line
+        self._mem.add_read(line)
+        if out.writeback:
+            self._mem.add_write(line)
+        return (LLC_HIT_CYCLES + self._dram_cycles) / mlp
+
+    def read_line_for_device(self, addr: int) -> None:
+        """Device-side read (Tx DMA): LLC if present, else DRAM; no fill."""
+        out = self._llc.device_read(addr)
+        if not out.hit:
+            self._mem.add_read(self._line)
+
+    def charge(self, instructions: float, cycles: float) -> None:
+        """Credit retired instructions and consumed cycles to the core."""
+        self.block.credit(instructions=int(instructions), cycles=int(cycles))
+
+
+@dataclass
+class WorkloadStats:
+    """Cumulative application-level statistics for one workload."""
+
+    ops: int = 0
+    busy_cycles: float = 0.0
+    latency_sum_cycles: float = 0.0
+    #: Optional reservoir of per-op latencies for percentile reporting.
+    latency_samples: "list[float]" = field(default_factory=list)
+
+    def record_op(self, latency_cycles: float, *, sample: bool = False) -> None:
+        self.ops += 1
+        self.latency_sum_cycles += latency_cycles
+        if sample:
+            self.latency_samples.append(latency_cycles)
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        return self.latency_sum_cycles / self.ops if self.ops else 0.0
+
+    def percentile_latency(self, pct: float) -> float:
+        if not self.latency_samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latency_samples), pct))
+
+
+class Workload(ABC):
+    """Base class: bound to one tenant's core ports, run each quantum.
+
+    Subclasses implement :meth:`run_core`, consuming a per-core cycle
+    budget.  ``l2_bytes`` sets the modelled private-cache capacity used
+    for L2 hit-probability estimates.
+    """
+
+    #: Modelled per-core L2 capacity (Table I: 1 MB).
+    l2_bytes: int = 1 << 20
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ports: "list[CorePort]" = []
+        self.rng: "np.random.Generator" = np.random.default_rng(0)
+        self.region_base = 0
+        self.stats = WorkloadStats()
+        #: Rate scale of the hosting platform; the engine sets it at
+        #: bind time.  One simulated second carries ``freq * time_scale``
+        #: cycles, so waits measured in simulated seconds convert to
+        #: cycles through this factor.
+        self.time_scale = 1.0
+
+    def bind(self, ports: "list[CorePort]", region_base: int,
+             rng: "np.random.Generator") -> None:
+        """Attach to core ports and a private address region."""
+        if not ports:
+            raise ValueError(f"workload {self.name!r} needs >= 1 core port")
+        self.ports = ports
+        self.region_base = region_base
+        self.rng = rng
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        """Hook for subclasses after binding (precompute tables etc.)."""
+
+    def prefill(self) -> None:
+        """Warm the workload's resident data into the cache at t=0.
+
+        The simulator runs rates at ``time_scale`` of real time, which
+        stretches cache-fill transients by the same factor; real
+        machines reach steady state in (real) seconds, so experiments
+        start from a warm cache.  Called by the engine after the
+        controllers' initial LLC allocation and *before* counter
+        baselines are primed, so the warm-up burst is invisible to both
+        the metrics and the daemon.
+        """
+
+    def warm_region(self, base: int, nbytes: int, *,
+                    write: bool = False) -> None:
+        """Touch up to one LLC worth of a region through the first port."""
+        if not self.ports or nbytes <= 0:
+            return
+        port = self.ports[0]
+        port.begin_quantum()
+        geometry_lines = port._llc.geometry.lines
+        line = port._llc.geometry.line_size
+        nlines = min(nbytes // line, geometry_lines)
+        if nlines <= 0:
+            return
+        total_lines = max(1, nbytes // line)
+        if total_lines > nlines:
+            # Region exceeds the cache: warm a uniform random sample,
+            # matching the steady-state resident set of a random pattern.
+            addrs = base + self.rng.choice(total_lines, size=nlines,
+                                           replace=False) * line
+        else:
+            addrs = base + np.arange(total_lines) * line
+        for addr in addrs.tolist():
+            port.access(int(addr), write=write)
+
+    def begin_quantum(self, now: float) -> None:
+        """Hook called once per quantum before any sub-step."""
+        for port in self.ports:
+            port.begin_quantum()
+
+    def run(self, budget_cycles: float, now: float) -> None:
+        """Execute one sub-step: ``budget_cycles`` per core."""
+        for port in self.ports:
+            self.run_core(port, budget_cycles, now)
+
+    @abstractmethod
+    def run_core(self, port: CorePort, budget_cycles: float,
+                 now: float) -> None:
+        """Consume up to ``budget_cycles`` on one core."""
+
+    # -- helpers ---------------------------------------------------------
+    def l2_hit_prob(self, working_set_bytes: int) -> float:
+        """L2 hit probability for a uniform-random pattern over a set."""
+        if working_set_bytes <= 0:
+            return 1.0
+        return min(1.0, self.l2_bytes / working_set_bytes)

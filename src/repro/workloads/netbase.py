@@ -1,0 +1,163 @@
+"""Shared machinery for packet-polling (DPDK-style) workloads.
+
+A :class:`RingConsumer` busy-polls one or more descriptor rings; each
+packet costs the lines of its buffer (read through the consumer's CAT
+mask — this is where Leaky DMA bites: if the DDIO-written buffer was
+evicted, these reads go to DRAM) plus an application-specific cost
+implemented by the subclass.  Transmit is modelled as a device read of
+the buffer lines (DDIO reads never allocate, Sec. II-B).
+
+Per-packet latency samples combine queueing delay (time the packet sat
+in the ring, from its arrival stamp) with the measured service cycles,
+so tail latencies reflect backlog, not just cache misses.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import lines_per_packet
+from ..pci.ring import DescRing, PacketRecord
+from .base import CorePort, Workload
+
+#: Cycles burned per empty poll of a ring (tight DPDK rx_burst loop).
+EMPTY_POLL_CYCLES = 40.0
+
+#: Instructions retired per empty poll (the spin loop is instruction-dense).
+EMPTY_POLL_INSTR = 60.0
+
+#: Maximum empty polls simulated per sub-step before the consumer is
+#: considered idle for the rest of the budget (keeps the loop cheap while
+#: still charging spin cycles/instructions).
+MAX_EMPTY_POLLS = 4
+
+#: Memory-level parallelism of streaming a packet buffer: sequential
+#: lines are prefetched and overlap, so the per-line charge is the
+#: latency divided by this factor (a ~1.5 KB copy costs tens of cycles
+#: when LLC-resident, hundreds when leaked to DRAM).
+BUFFER_MLP = 8.0
+
+
+class RingConsumer(Workload):
+    """Base for workloads that drain Rx rings under a cycle budget.
+
+    ``stall_period``/``stall_durations`` model consumer scheduling
+    jitter: every ``stall_period`` simulated seconds the consumer stops
+    polling for the next duration in the cycle.  Because the simulator
+    scales *rates* but not ring sizes, jitter durations are scaled UP by
+    the same factor so the backlog in packets (rate x stall) matches the
+    real machine — this is what makes shallow Rx rings overflow near
+    saturation (paper Sec. III-A / Fig. 3).  Defaults to no jitter.
+    """
+
+    def __init__(self, name: str, rings: "list[DescRing]", *,
+                 core_freq_hz: float = 2.3e9,
+                 stall_period: float = 0.0,
+                 stall_durations: "tuple[float, ...]" = (0.005, 0.02, 0.08)) -> None:
+        super().__init__(name)
+        if not rings:
+            raise ValueError(f"{name}: need at least one ring to poll")
+        self.rings = rings
+        self.core_freq_hz = core_freq_hz
+        self.stall_period = stall_period
+        self.stall_durations = stall_durations
+        self.packets_processed = 0
+        self.tx_bytes = 0
+        self._ring_cursor = 0
+        self._next_stall = stall_period
+        self._stalled_until = -1.0
+        self._stall_index = 0
+        #: 1-in-N latency sampling to bound memory.
+        self.latency_sample_stride = 7
+
+    def begin_quantum(self, now: float) -> None:
+        super().begin_quantum(now)
+        if self.stall_period and now + 1e-12 >= self._next_stall:
+            duration = self.stall_durations[
+                self._stall_index % len(self.stall_durations)]
+            self._stalled_until = now + duration
+            self._stall_index += 1
+            self._next_stall += self.stall_period
+
+    # -- subclass interface ----------------------------------------------
+    def packet_cost(self, port: CorePort, record: PacketRecord,
+                    now: float) -> "tuple[float, float]":
+        """App-specific work for one packet: ``(instructions, cycles)``.
+
+        Called after the buffer lines have been read; implementations
+        issue their own table accesses through ``port`` and return the
+        incremental cost.
+        """
+        raise NotImplementedError
+
+    def transmit(self, port: CorePort, record: PacketRecord) -> None:
+        """Default Tx: NIC reads the buffer lines out of LLC/DRAM."""
+        line = 64
+        addr = record.buf_addr
+        for _ in range(lines_per_packet(record.size, line)):
+            port.read_line_for_device(addr)
+            addr += line
+        self.tx_bytes += record.size
+
+    # -- poll loop ---------------------------------------------------------
+    def _next_packet(self) -> "PacketRecord | None":
+        """Round-robin consume across this workload's rings."""
+        for offset in range(len(self.rings)):
+            ring = self.rings[(self._ring_cursor + offset) % len(self.rings)]
+            record = ring.consume()
+            if record is not None:
+                self._ring_cursor = (self._ring_cursor + offset + 1) % len(self.rings)
+                return record
+        return None
+
+    def run_core(self, port: CorePort, budget_cycles: float,
+                 now: float) -> None:
+        if now < self._stalled_until:
+            # Scheduled out: the ring keeps filling while we're away.
+            port.charge(0, budget_cycles)
+            return
+        used = 0.0
+        instructions = 0.0
+        empty_polls = 0
+        line = 64
+        while used < budget_cycles:
+            record = self._next_packet()
+            if record is None:
+                empty_polls += 1
+                used += EMPTY_POLL_CYCLES
+                instructions += EMPTY_POLL_INSTR
+                if empty_polls >= MAX_EMPTY_POLLS:
+                    # Idle-spin the rest of the budget at the poll loop's
+                    # natural IPC without iterating packet-by-packet.
+                    remaining = budget_cycles - used
+                    if remaining > 0:
+                        used = budget_cycles
+                        instructions += (remaining / EMPTY_POLL_CYCLES
+                                         * EMPTY_POLL_INSTR)
+                    break
+                continue
+            empty_polls = 0
+            service = 0.0
+            addr = record.buf_addr
+            for _ in range(lines_per_packet(record.size, line)):
+                service += port.access(addr, mlp=BUFFER_MLP)
+                addr += line
+            instr, extra = self.packet_cost(port, record, now)
+            service += extra
+            instructions += instr
+            self.transmit(port, record)
+            used += service
+            self.stats.busy_cycles += service
+            self.packets_processed += 1
+            # Queue wait in *elapsed cycles*: a simulated second carries
+            # freq * time_scale cycles, so this is the real-equivalent
+            # sojourn (ring sizes are unscaled, rates are scaled).
+            queue_cycles = max(0.0, (now - record.arrival)
+                               * self.core_freq_hz * self.time_scale)
+            self.stats.record_op(
+                queue_cycles + service,
+                sample=self.stats.ops % self.latency_sample_stride == 0)
+        port.charge(instructions, used)
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def drops(self) -> int:
+        return sum(ring.dropped for ring in self.rings)

@@ -1,0 +1,149 @@
+"""RocksDB as configured in the paper: a pure-memtable key-value store.
+
+Sec. VI-C: "To avoid any storage I/O operations, we only load 10K
+records (1KB per record) so that all records are in RocksDB's memtable."
+The memtable is a skiplist; a get/put walks ~log2(n) tower nodes
+(dependent pointer chase) and then touches the 1 KB value (16 lines).
+The whole structure is ~10 MB + node overhead — a classic LLC-sensitive
+tenant, which is why inbound DDIO traffic evicting it hurts (Fig. 13).
+
+Latency is reported per YCSB op type so the paper's *normalized weighted
+average latency* can be computed (each type normalized to its solo-run
+latency, then weighted by the mix).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .base import CorePort, Workload
+from .streams import uniform_lines
+from .ycsb import OpType, SCAN_LENGTH, YcsbMix, YcsbOpStream
+
+#: Paper's load: 10K records of 1KB.
+DEFAULT_RECORDS = 10_000
+DEFAULT_VALUE_BYTES = 1024
+
+#: Skiplist node size (key + tower pointers), one line.
+NODE_BYTES = 64
+
+#: Instruction cost per op (key compare loop, memtable bookkeeping).
+ROCKSDB_INSTRUCTIONS_PER_OP = 900.0
+ROCKSDB_OVERHEAD_CYCLES = 350.0
+
+_BATCH = 64
+
+
+@dataclass
+class OpLatency:
+    """Latency accumulator for one YCSB op type."""
+
+    count: int = 0
+    total_cycles: float = 0.0
+
+    @property
+    def avg(self) -> float:
+        return self.total_cycles / self.count if self.count else 0.0
+
+
+class RocksDb(Workload):
+    """Memtable-only RocksDB driven by a YCSB op stream on its own core."""
+
+    def __init__(self, name: str, mix: YcsbMix, *,
+                 n_records: int = DEFAULT_RECORDS,
+                 value_bytes: int = DEFAULT_VALUE_BYTES,
+                 core_freq_hz: float = 2.3e9) -> None:
+        super().__init__(name)
+        self.mix = mix
+        self.n_records = n_records
+        self.value_bytes = value_bytes
+        self.core_freq_hz = core_freq_hz
+        self.skiplist_depth = max(1, int(math.log2(max(2, n_records))))
+        self.per_op: "dict[OpType, OpLatency]" = {
+            op: OpLatency() for op in OpType}
+        self._stream: "YcsbOpStream | None" = None
+
+    def on_bind(self) -> None:
+        self._stream = YcsbOpStream(self.mix, self.n_records, self.rng)
+        # Region layout: skiplist nodes first, then values.
+        self._nodes_bytes = 2 * self.n_records * NODE_BYTES
+        self._values_base = self.region_base + self._nodes_bytes
+
+    def prefill(self) -> None:
+        self.warm_region(self.region_base, self._nodes_bytes)
+        self.warm_region(self._values_base,
+                         self.n_records * self.value_bytes)
+
+    def _value_addr(self, key: int) -> int:
+        return self._values_base + (key % self.n_records) * self.value_bytes
+
+    def _walk_skiplist(self, port: CorePort) -> float:
+        """Dependent pointer chase down the skiplist towers."""
+        cycles = 0.0
+        addrs = uniform_lines(self.rng, self.region_base, self._nodes_bytes,
+                              self.skiplist_depth)
+        for addr in addrs.tolist():
+            cycles += port.access(int(addr))
+        return cycles
+
+    #: Streaming MLP of a contiguous 1 KB value copy.
+    VALUE_MLP = 4.0
+
+    def _touch_value(self, port: CorePort, key: int, *, write: bool) -> float:
+        cycles = 0.0
+        addr = self._value_addr(key)
+        for _ in range(-(-self.value_bytes // 64)):
+            cycles += port.access(addr, write=write, mlp=self.VALUE_MLP)
+            addr += 64
+        return cycles
+
+    def _one_op(self, port: CorePort, op: OpType, key: int) -> float:
+        cycles = ROCKSDB_OVERHEAD_CYCLES + self._walk_skiplist(port)
+        if op in (OpType.READ, OpType.SCAN):
+            reads = SCAN_LENGTH if op is OpType.SCAN else 1
+            for i in range(reads):
+                cycles += self._touch_value(port, key + i, write=False)
+        elif op in (OpType.UPDATE, OpType.INSERT):
+            cycles += self._touch_value(port, key, write=True)
+        else:  # read-modify-write
+            cycles += self._touch_value(port, key, write=False)
+            cycles += self._touch_value(port, key, write=True)
+        return cycles
+
+    def run_core(self, port: CorePort, budget_cycles: float,
+                 now: float) -> None:
+        used = 0.0
+        ops = 0
+        while used < budget_cycles:
+            for op, key in self._stream.draw(_BATCH):
+                latency = self._one_op(port, op, key)
+                used += latency
+                ops += 1
+                acc = self.per_op[op]
+                acc.count += 1
+                acc.total_cycles += latency
+                self.stats.record_op(latency)
+                if used >= budget_cycles:
+                    break
+        port.charge(ops * ROCKSDB_INSTRUCTIONS_PER_OP, used)
+
+    # -- reporting ---------------------------------------------------------
+    def weighted_latency_vs(self, solo: "RocksDb") -> float:
+        """Paper Fig. 13 metric: per-op-type latency normalized to a solo
+        run, weighted by the mix proportions."""
+        weighted = 0.0
+        for op, share in self.mix.proportions.items():
+            mine = self.per_op[op].avg
+            theirs = solo.per_op[op].avg
+            if theirs > 0:
+                weighted += share * (mine / theirs)
+            else:
+                weighted += share
+        return weighted
+
+    def throughput_ops(self, elapsed_seconds: float,
+                       time_scale: float = 1.0) -> float:
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.stats.ops / elapsed_seconds / time_scale

@@ -1,0 +1,51 @@
+"""Address-stream generators used by the workload models.
+
+All generators produce *byte addresses of cachelines* inside a workload's
+private region, in numpy batches so the Python-level per-access loop only
+pays for the cache access itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..net.traffic import zipf_weights
+
+LINE = 64
+
+
+def uniform_lines(rng: "np.random.Generator", base: int, ws_bytes: int,
+                  count: int, line: int = LINE) -> "np.ndarray":
+    """``count`` uniform-random line addresses over a working set."""
+    nlines = max(1, ws_bytes // line)
+    return base + rng.integers(0, nlines, size=count) * line
+
+
+def sequential_lines(base: int, ws_bytes: int, start_line: int, count: int,
+                     line: int = LINE) -> "tuple[np.ndarray, int]":
+    """``count`` streaming line addresses, wrapping over the working set.
+
+    Returns the addresses and the next start line, so callers can keep a
+    cursor across batches.
+    """
+    nlines = max(1, ws_bytes // line)
+    idx = (start_line + np.arange(count)) % nlines
+    return base + idx * line, (start_line + count) % nlines
+
+
+class ZipfKeyStream:
+    """Zipf-distributed key indices (YCSB-style popularity skew)."""
+
+    def __init__(self, n_keys: int, theta: float,
+                 rng: "np.random.Generator") -> None:
+        if n_keys < 1:
+            raise ValueError("need at least one key")
+        self.n_keys = n_keys
+        self.theta = theta
+        self._rng = rng
+        self._weights = zipf_weights(n_keys, theta)
+
+    def draw(self, count: int) -> "np.ndarray":
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._rng.choice(self.n_keys, size=count, p=self._weights)

@@ -1,0 +1,83 @@
+"""X-Mem: the cloud memory-characterization microbenchmark (Gottscho et
+al., ISPASS'16) used throughout the paper to emulate non-networking
+tenants (Secs. III-B, VI-B, VI-C).
+
+The paper always runs the *random-read* pattern over a configurable
+working set (2-16 MB) "to emulate real applications' behavior", and
+reports average access latency and throughput.  Each operation here is
+one dependent load (``mlp = 1``) at a uniform-random line of the working
+set; accesses that fall in the modelled L2 never reach the LLC.
+"""
+
+from __future__ import annotations
+
+from .base import CorePort, L2_HIT_CYCLES, Workload
+from .streams import sequential_lines, uniform_lines
+
+#: Loop overhead per access operation.
+XMEM_INSTRUCTIONS_PER_OP = 8.0
+XMEM_OVERHEAD_CYCLES = 4.0
+
+_BATCH = 256
+
+
+class XMem(Workload):
+    """Random-read (default) or sequential-read memory prober."""
+
+    def __init__(self, name: str, working_set_bytes: int, *,
+                 pattern: str = "random_read",
+                 core_freq_hz: float = 2.3e9) -> None:
+        super().__init__(name)
+        if working_set_bytes < 64:
+            raise ValueError("working set must hold at least one line")
+        if pattern not in ("random_read", "sequential_read"):
+            raise ValueError(f"unknown X-Mem pattern {pattern!r}")
+        self.working_set_bytes = working_set_bytes
+        self.pattern = pattern
+        self.core_freq_hz = core_freq_hz
+        self._cursor = 0
+
+    def prefill(self) -> None:
+        self.warm_region(self.region_base, self.working_set_bytes)
+
+    def set_working_set(self, working_set_bytes: int) -> None:
+        """Phase change: resize the probed region (e.g. Fig. 10 at t=5s)."""
+        if working_set_bytes < 64:
+            raise ValueError("working set must hold at least one line")
+        self.working_set_bytes = working_set_bytes
+
+    def run_core(self, port: CorePort, budget_cycles: float,
+                 now: float) -> None:
+        used = 0.0
+        ops = 0
+        p_l2 = self.l2_hit_prob(self.working_set_bytes)
+        while used < budget_cycles:
+            if self.pattern == "random_read":
+                addrs = uniform_lines(self.rng, self.region_base,
+                                      self.working_set_bytes, _BATCH)
+            else:
+                addrs, self._cursor = sequential_lines(
+                    self.region_base, self.working_set_bytes, self._cursor,
+                    _BATCH)
+            l2_hits = self.rng.random(_BATCH) < p_l2
+            for addr, in_l2 in zip(addrs.tolist(), l2_hits.tolist()):
+                latency = L2_HIT_CYCLES if in_l2 else port.access(int(addr))
+                used += XMEM_OVERHEAD_CYCLES + latency
+                ops += 1
+                self.stats.record_op(latency)
+                if used >= budget_cycles:
+                    break
+        port.charge(ops * XMEM_INSTRUCTIONS_PER_OP, used)
+
+    # -- reporting ---------------------------------------------------------
+    def avg_latency_ns(self) -> float:
+        if self.stats.ops == 0:
+            return 0.0
+        return self.stats.avg_latency_cycles / self.core_freq_hz * 1e9
+
+    def throughput_ops(self, elapsed_seconds: float,
+                       time_scale: float = 1.0) -> float:
+        """Achieved ops/second, unscaled back to real time."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.stats.ops / elapsed_seconds / time_scale

@@ -1,0 +1,104 @@
+"""YCSB workload definitions (Cooper et al., SoCC'10).
+
+The paper drives both RocksDB and Redis with YCSB using a 0.99 Zipfian
+request distribution (Sec. VI-C).  This module captures the six core
+workload mixes and a key-chooser; the KVS models consume ops from here.
+
+Scans (workload E) are approximated as a short sequential run of key
+reads, which preserves their cache footprint character.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .streams import ZipfKeyStream
+
+#: YCSB's default request-distribution skew.
+DEFAULT_ZIPF_THETA = 0.99
+
+#: Keys read per scan operation (approximation of YCSB's scan length).
+SCAN_LENGTH = 20
+
+
+class OpType(enum.Enum):
+    """YCSB operation types (scan approximated as a short key run)."""
+
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+    RMW = "read-modify-write"
+
+
+@dataclass(frozen=True)
+class YcsbMix:
+    """One YCSB workload: its letter and operation proportions."""
+
+    letter: str
+    proportions: "dict[OpType, float]"
+
+    def __post_init__(self) -> None:
+        total = sum(self.proportions.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload {self.letter}: mix sums to {total}")
+
+
+#: The six core YCSB workloads.
+WORKLOAD_A = YcsbMix("A", {OpType.READ: 0.5, OpType.UPDATE: 0.5})
+WORKLOAD_B = YcsbMix("B", {OpType.READ: 0.95, OpType.UPDATE: 0.05})
+WORKLOAD_C = YcsbMix("C", {OpType.READ: 1.0})
+WORKLOAD_D = YcsbMix("D", {OpType.READ: 0.95, OpType.INSERT: 0.05})
+WORKLOAD_E = YcsbMix("E", {OpType.SCAN: 0.95, OpType.INSERT: 0.05})
+WORKLOAD_F = YcsbMix("F", {OpType.READ: 0.5, OpType.RMW: 0.5})
+
+ALL_WORKLOADS = {m.letter: m for m in
+                 (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D,
+                  WORKLOAD_E, WORKLOAD_F)}
+
+#: The subset the paper plots for Redis (read-heavy A/B/C highlighted).
+REDIS_WORKLOADS = ("A", "B", "C", "D", "F")
+
+
+@dataclass
+class YcsbOpStream:
+    """Draws (op type, key) pairs for one YCSB mix.
+
+    Workload D uses a "latest" distribution: reads cluster near the most
+    recently inserted keys; we model it as zipf over a rolling window.
+    """
+
+    mix: YcsbMix
+    n_keys: int
+    rng: "np.random.Generator"
+    theta: float = DEFAULT_ZIPF_THETA
+    _keys: "ZipfKeyStream | None" = field(default=None, repr=False)
+    _ops: "list[OpType]" = field(default_factory=list, repr=False)
+    _cum: "np.ndarray | None" = field(default=None, repr=False)
+    _insert_count: int = 0
+
+    def __post_init__(self) -> None:
+        self._keys = ZipfKeyStream(self.n_keys, self.theta, self.rng)
+        self._ops = list(self.mix.proportions.keys())
+        self._cum = np.cumsum([self.mix.proportions[o] for o in self._ops])
+
+    def draw(self, count: int) -> "list[tuple[OpType, int]]":
+        if count == 0:
+            return []
+        rolls = self.rng.random(count)
+        op_idx = np.searchsorted(self._cum, rolls)
+        keys = self._keys.draw(count)
+        out = []
+        for idx, key in zip(op_idx.tolist(), keys.tolist()):
+            op = self._ops[min(idx, len(self._ops) - 1)]
+            if op is OpType.INSERT:
+                self._insert_count += 1
+                key = (self.n_keys + self._insert_count) % (2 * self.n_keys)
+            elif self.mix.letter == "D":
+                # "Latest" flavour: bias reads toward recent inserts.
+                key = (self.n_keys + self._insert_count - key) % (2 * self.n_keys)
+            out.append((op, key))
+        return out

@@ -1,0 +1,138 @@
+"""Unit tests for way-count bookkeeping and layout planning."""
+
+import pytest
+
+from repro.cache.cat import mask_ways
+from repro.core.allocator import (Layout, WayAllocator, pack_bottom_up,
+                                  plan_layout)
+from repro.core.params import IATParams
+from repro.tenants.tenant import Priority, Tenant, TenantSet
+
+
+def tenants_fixture():
+    return TenantSet([
+        Tenant("pmd", cores=(0,), priority=Priority.PC, is_io=True,
+               initial_ways=3),
+        Tenant("c2", cores=(1,), priority=Priority.BE, initial_ways=2),
+        Tenant("c3", cores=(2,), priority=Priority.BE, initial_ways=2),
+        Tenant("c4", cores=(3,), priority=Priority.PC, initial_ways=2),
+    ])
+
+
+class TestPackBottomUp:
+    def test_disjoint_when_fits(self):
+        masks = pack_bottom_up([("a", 2), ("b", 3)], 11, 11)
+        assert mask_ways(masks["a"]) == [0, 1]
+        assert mask_ways(masks["b"]) == [2, 3, 4]
+
+    def test_clamps_at_top_when_overcommitted(self):
+        masks = pack_bottom_up([("a", 6), ("b", 6)], 8, 8)
+        assert mask_ways(masks["a"]) == [0, 1, 2, 3, 4, 5]
+        assert mask_ways(masks["b"]) == [2, 3, 4, 5, 6, 7]  # overlaps a
+
+    def test_respects_limit(self):
+        masks = pack_bottom_up([("a", 4)], 6, 11)
+        assert max(mask_ways(masks["a"])) < 6
+
+    def test_rejects_oversized_group(self):
+        with pytest.raises(ValueError):
+            pack_bottom_up([("a", 7)], 6, 11)
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            pack_bottom_up([("a", 1)], 0, 11)
+
+
+class TestPlanLayout:
+    def test_ddio_top_anchored(self):
+        layout = plan_layout(11, 2, [("a", 2)])
+        assert mask_ways(layout.ddio_mask) == [9, 10]
+
+    def test_free_gap_below_ddio(self):
+        layout = plan_layout(11, 2, [("a", 2), ("b", 3)])
+        assert layout.used_mask() & (0b1111 << 5) == 0  # ways 5-8 idle
+
+    def test_last_group_overlaps_ddio_under_pressure(self):
+        layout = plan_layout(11, 2, [("a", 4), ("b", 4), ("c", 4)])
+        assert layout.overlap_groups() == {"c"}
+
+    def test_io_isolated_excludes_ddio_ways(self):
+        layout = plan_layout(11, 4, [("a", 4), ("b", 3)],
+                             io_isolated=True)
+        assert layout.overlap_groups() == set()
+        for mask in layout.group_masks.values():
+            assert mask & layout.ddio_mask == 0
+
+    def test_invalid_ddio_ways(self):
+        with pytest.raises(ValueError):
+            plan_layout(11, 0, [("a", 1)])
+        with pytest.raises(ValueError):
+            plan_layout(11, 12, [("a", 1)])
+
+    def test_overlap_tenants_resolves_groups(self):
+        tenants = TenantSet([
+            Tenant("r0", cores=(0,), share_group="net", initial_ways=3),
+            Tenant("r1", cores=(1,), share_group="net", initial_ways=3),
+        ])
+        layout = Layout(group_masks={"net": 0b11 << 9}, ddio_mask=0b11 << 9)
+        assert layout.overlap_tenants(tenants) == {"r0", "r1"}
+
+
+class TestWayAllocator:
+    def make(self, **params):
+        return WayAllocator.for_tenants(11, IATParams(**params),
+                                        tenants_fixture())
+
+    def test_initial_counts_from_tenants(self):
+        alloc = self.make()
+        assert alloc.group_ways == {"pmd": 3, "c2": 2, "c3": 2, "c4": 2}
+        assert alloc.ddio_ways == 2  # hardware default before any action
+
+    def test_ddio_grow_shrink_respects_bounds(self):
+        alloc = self.make(ddio_ways_min=1, ddio_ways_max=6)
+        alloc.clamp_ddio_min()
+        assert alloc.ddio_at_min
+        for _ in range(10):
+            alloc.grow_ddio()
+        assert alloc.ddio_ways == 6 and alloc.ddio_at_max
+        assert not alloc.grow_ddio()
+        for _ in range(10):
+            alloc.shrink_ddio()
+        assert alloc.ddio_ways == 1
+        assert not alloc.shrink_ddio()
+
+    def test_group_grow_capped(self):
+        alloc = self.make(tenant_ways_max=5)
+        for _ in range(10):
+            alloc.grow_group("c4")
+        assert alloc.group_ways["c4"] == 5
+
+    def test_group_shrink_floor(self):
+        alloc = self.make()
+        assert not alloc.shrink_group("c4", floor=2)
+        alloc.grow_group("c4")
+        assert alloc.shrink_group("c4", floor=2)
+        assert alloc.group_ways["c4"] == 2
+
+    def test_increment_step_modes(self):
+        one = self.make(increment_mode="one")
+        assert one.increment_step(50.0) == 1
+        ucp = self.make(increment_mode="ucp")
+        assert ucp.increment_step(50.0) == 2
+        assert ucp.increment_step(5.0) == 1
+
+    def test_layout_uses_current_counts(self):
+        alloc = self.make()
+        alloc.clamp_ddio_min()
+        layout = alloc.layout(["pmd", "c4", "c2", "c3"])
+        assert mask_ways(layout.group_masks["pmd"]) == [0, 1, 2]
+        assert mask_ways(layout.group_masks["c3"]) == [7, 8]
+        assert mask_ways(layout.ddio_mask) == [10]
+
+    def test_shared_group_uses_max_member_ways(self):
+        tenants = TenantSet([
+            Tenant("a", cores=(0,), share_group="g", initial_ways=2),
+            Tenant("b", cores=(1,), share_group="g", initial_ways=4),
+        ])
+        alloc = WayAllocator.for_tenants(11, IATParams(), tenants)
+        assert alloc.group_ways == {"g": 4}

@@ -1,0 +1,74 @@
+"""Property-based tests on layout-planning invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cat import is_contiguous, mask_ways
+from repro.core.allocator import plan_layout
+
+NUM_WAYS = 11
+
+
+@st.composite
+def orders(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    return [(f"g{i}", draw(st.integers(min_value=1, max_value=8)))
+            for i in range(n)]
+
+
+class TestLayoutInvariants:
+    @given(orders(), st.integers(1, 6))
+    @settings(max_examples=200)
+    def test_masks_contiguous_and_in_range(self, order, ddio_ways):
+        layout = plan_layout(NUM_WAYS, ddio_ways, order)
+        for mask in layout.group_masks.values():
+            assert is_contiguous(mask)
+            assert mask >> NUM_WAYS == 0
+        assert is_contiguous(layout.ddio_mask)
+
+    @given(orders(), st.integers(1, 6))
+    @settings(max_examples=200)
+    def test_requested_way_counts_granted(self, order, ddio_ways):
+        layout = plan_layout(NUM_WAYS, ddio_ways, order)
+        for name, count in order:
+            assert len(mask_ways(layout.group_masks[name])) == count
+
+    @given(orders(), st.integers(1, 6))
+    @settings(max_examples=200)
+    def test_no_overlap_when_cache_fits_everything(self, order, ddio_ways):
+        total = sum(count for _, count in order)
+        layout = plan_layout(NUM_WAYS, ddio_ways, order)
+        if total <= NUM_WAYS - ddio_ways:
+            # No tenant-DDIO overlap...
+            assert layout.overlap_groups() == set()
+            # ...and no tenant-tenant overlap either.
+            combined = 0
+            for mask in layout.group_masks.values():
+                assert combined & mask == 0
+                combined |= mask
+
+    @given(orders(), st.integers(1, 6))
+    @settings(max_examples=200)
+    def test_overlap_only_at_the_top(self, order, ddio_ways):
+        """If overlap is necessary, it involves the *last* groups in the
+        order (the shuffler puts the least LLC-hungry BE there)."""
+        layout = plan_layout(NUM_WAYS, ddio_ways, order)
+        overlapping = layout.overlap_groups()
+        if overlapping:
+            names = [name for name, _ in order]
+            # Every group after the first overlapping one (in bottom-up
+            # order) that touches DDIO must be later in the order than
+            # every non-overlapping group that could have been placed
+            # higher -- equivalently the first group never overlaps
+            # unless it alone exceeds the non-DDIO space.
+            first_name, first_count = order[0]
+            if first_name in overlapping:
+                assert first_count > NUM_WAYS - ddio_ways
+
+    @given(orders(), st.integers(1, 6))
+    @settings(max_examples=100)
+    def test_io_isolated_never_touches_ddio(self, order, ddio_ways):
+        if any(count > NUM_WAYS - ddio_ways for _, count in order):
+            return  # planner rightfully rejects these; covered elsewhere
+        layout = plan_layout(NUM_WAYS, ddio_ways, order, io_isolated=True)
+        for mask in layout.group_masks.values():
+            assert mask & layout.ddio_mask == 0

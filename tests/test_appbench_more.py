@@ -1,0 +1,56 @@
+"""Additional appbench coverage: metric plumbing and solo variants."""
+
+import pytest
+
+from repro.experiments.appbench import (AppMetrics, _app_rate, build_corun,
+                                        solo_app_run)
+from repro.workloads.spec import SPEC_PROFILES, SpecWorkload
+from repro.workloads.xmem import XMem
+
+
+class TestAppRateDispatch:
+    def test_spec_uses_instruction_rate(self):
+        work = SpecWorkload(SPEC_PROFILES["gcc"])
+        work.instructions_retired = 5_000.0
+        rate = _app_rate(work, seconds=2.0, time_scale=1e-3,
+                         start_instr=1_000.0, start_ops=0)
+        assert rate == pytest.approx((5_000 - 1_000) / 2.0 / 1e-3)
+
+    def test_other_workloads_use_ops(self):
+        work = XMem("x", 1 << 20)
+        work.stats.ops = 300
+        rate = _app_rate(work, seconds=3.0, time_scale=1.0,
+                         start_instr=0.0, start_ops=60)
+        assert rate == pytest.approx(80.0)
+
+
+class TestBuildCorun:
+    def test_solo_net_drops_non_networking(self):
+        scenario = build_corun("kvs", None)
+        names = {b.tenant.name for b in scenario.sim.bindings}
+        assert "app" not in names and "be0" not in names
+        assert {"ovs", "redis0", "redis1"} <= names
+
+    def test_corun_keeps_everything(self):
+        scenario = build_corun("kvs", "gcc")
+        names = {b.tenant.name for b in scenario.sim.bindings}
+        assert {"app", "be0", "be1", "ovs"} <= names
+
+    def test_nfv_has_four_chains(self):
+        scenario = build_corun("nfv", "gcc")
+        names = {b.tenant.name for b in scenario.sim.bindings}
+        assert {f"nf{i}" for i in range(4)} <= names
+
+
+class TestSoloMetrics:
+    def test_solo_app_has_no_redis_fields(self):
+        metrics = solo_app_run("gcc", warmup_s=0.2, measure_s=0.4)
+        assert isinstance(metrics, AppMetrics)
+        assert metrics.redis_tput is None
+        assert metrics.rocksdb_per_op is None
+
+    def test_solo_rocksdb_reports_per_op(self):
+        metrics = solo_app_run("rocksdb", "A", warmup_s=0.2,
+                               measure_s=0.4)
+        assert metrics.rocksdb_per_op is not None
+        assert metrics.app_rate > 0

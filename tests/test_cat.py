@@ -1,0 +1,95 @@
+"""Unit tests for CAT mask rules and CLOS association."""
+
+import pytest
+
+from repro.cache.cat import (CatController, CatError, is_contiguous,
+                             mask_span, mask_ways, ways_to_mask)
+
+
+class TestMaskHelpers:
+    @pytest.mark.parametrize("first,count,expected", [
+        (0, 1, 0b1), (0, 2, 0b11), (2, 3, 0b11100), (9, 2, 0b11 << 9),
+    ])
+    def test_ways_to_mask(self, first, count, expected):
+        assert ways_to_mask(first, count) == expected
+
+    def test_ways_to_mask_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ways_to_mask(-1, 1)
+        with pytest.raises(ValueError):
+            ways_to_mask(0, 0)
+
+    def test_mask_ways_roundtrip(self):
+        assert mask_ways(0b101100) == [2, 3, 5]
+        assert mask_ways(ways_to_mask(3, 4)) == [3, 4, 5, 6]
+
+    @pytest.mark.parametrize("mask,expected", [
+        (0b1, True), (0b110, True), (0b1110, True),
+        (0b101, False), (0b1001, False), (0, False), (-4, False),
+    ])
+    def test_is_contiguous(self, mask, expected):
+        assert is_contiguous(mask) is expected
+
+    def test_mask_span(self):
+        assert mask_span(0b11100) == (2, 3)
+        assert mask_span(0b1) == (0, 1)
+
+    def test_mask_span_rejects_holes(self):
+        with pytest.raises(ValueError):
+            mask_span(0b101)
+
+
+class TestCatController:
+    def test_default_state_full_masks(self):
+        cat = CatController(num_ways=11)
+        assert cat.get_mask(0) == 0b111_1111_1111
+        assert cat.cos_of(5) == 0  # unassociated cores use CLOS 0
+
+    def test_set_and_get_mask(self):
+        cat = CatController(num_ways=11)
+        cat.set_mask(3, 0b1100)
+        assert cat.get_mask(3) == 0b1100
+
+    def test_rejects_empty_mask(self):
+        cat = CatController(num_ways=11)
+        with pytest.raises(CatError):
+            cat.set_mask(1, 0)
+
+    def test_rejects_noncontiguous_mask(self):
+        cat = CatController(num_ways=11)
+        with pytest.raises(CatError):
+            cat.set_mask(1, 0b101)
+
+    def test_rejects_mask_beyond_ways(self):
+        cat = CatController(num_ways=4)
+        with pytest.raises(CatError):
+            cat.set_mask(1, 0b10000)
+
+    def test_association(self):
+        cat = CatController(num_ways=11)
+        cat.set_mask(2, 0b11)
+        cat.associate(7, 2)
+        assert cat.cos_of(7) == 2
+        assert cat.mask_of_core(7) == 0b11
+
+    def test_association_rejects_unknown_cos(self):
+        cat = CatController(num_ways=11, num_cos=4)
+        with pytest.raises(CatError):
+            cat.associate(0, 10)
+
+    def test_association_rejects_negative_core(self):
+        cat = CatController(num_ways=11)
+        with pytest.raises(CatError):
+            cat.associate(-1, 0)
+
+    def test_reset_restores_default(self):
+        cat = CatController(num_ways=11)
+        cat.set_mask(1, 0b1)
+        cat.associate(0, 1)
+        cat.reset()
+        assert cat.get_mask(1) == cat.get_mask(0)
+        assert cat.cos_of(0) == 0
+
+    def test_invalid_way_count(self):
+        with pytest.raises(CatError):
+            CatController(num_ways=0)

@@ -1,0 +1,64 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_figures_listed(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_daemon_requires_tenants(self):
+        with pytest.raises(SystemExit):
+            main(["daemon"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["daemon", "--tenants", "t.txt"])
+        assert args.backend == "sim"
+        assert args.interval == 1.0
+
+
+class TestFigureFast:
+    def test_fig15_fast_runs(self, capsys):
+        assert main(["figure", "fig15", "--fast"]) == 0
+        assert "Fig. 15" in capsys.readouterr().out
+
+
+class TestFigureRegistry:
+    def test_every_entry_well_formed(self):
+        for name, entry in FIGURES.items():
+            description, full, fast = entry
+            assert isinstance(description, str) and description
+            assert callable(full) and callable(fast)
+
+    def test_covers_all_eval_figures(self):
+        for n in (3, 4, 8, 9, 10, 11, 12, 13, 14, 15):
+            assert f"fig{n}" in FIGURES
+        assert "ext-ddio" in FIGURES
+
+
+class TestDaemonSim:
+    def test_sim_backend_runs_from_tenants_file(self, tmp_path, capsys):
+        path = tmp_path / "tenants.txt"
+        path.write_text(
+            "pmd cores=0,1 priority=PC io=yes ways=2\n"
+            "xmem cores=2 priority=BE io=no ways=2\n")
+        code = main(["daemon", "--tenants", str(path),
+                     "--duration", "3.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ddio=" in out
+        assert "low-keep" in out

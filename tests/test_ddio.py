@@ -1,0 +1,52 @@
+"""Unit tests for the DDIO way-mask register model."""
+
+import pytest
+
+from repro.cache.ddio import (DEFAULT_DDIO_WAYS, DdioConfig,
+                              ddio_mask_for_ways, default_ddio_mask)
+from repro.cache.geometry import TINY_LLC, XEON_6140_LLC
+
+
+class TestDefaults:
+    def test_default_two_top_ways(self):
+        # Sec. II-B: "By default, DDIO can only perform write allocate
+        # on two LLC ways (Way N-1 and Way N)".
+        mask = default_ddio_mask(XEON_6140_LLC)
+        assert mask == 0b11 << 9
+        assert bin(mask).count("1") == DEFAULT_DDIO_WAYS
+
+    def test_mask_for_ways_top_anchored(self):
+        assert ddio_mask_for_ways(XEON_6140_LLC, 6) == 0b111111 << 5
+        assert ddio_mask_for_ways(XEON_6140_LLC, 1) == 1 << 10
+
+    def test_mask_for_ways_bounds(self):
+        with pytest.raises(ValueError):
+            ddio_mask_for_ways(XEON_6140_LLC, 0)
+        with pytest.raises(ValueError):
+            ddio_mask_for_ways(XEON_6140_LLC, 12)
+
+
+class TestDdioConfig:
+    def test_initializes_to_default(self):
+        config = DdioConfig(TINY_LLC)
+        assert config.mask == default_ddio_mask(TINY_LLC)
+        assert config.way_count == 2
+
+    def test_set_ways(self):
+        config = DdioConfig(TINY_LLC)
+        config.set_ways(4)
+        assert config.way_count == 4
+        assert config.span() == (TINY_LLC.ways - 4, 4)
+
+    def test_set_mask_validates(self):
+        config = DdioConfig(TINY_LLC)
+        with pytest.raises(ValueError):
+            config.set_mask(0)
+        with pytest.raises(ValueError):
+            config.set_mask(0b101)
+        with pytest.raises(ValueError):
+            config.set_mask(1 << TINY_LLC.ways)
+
+    def test_explicit_mask_accepted(self):
+        config = DdioConfig(TINY_LLC, mask=0b111 << 2)
+        assert config.way_count == 3

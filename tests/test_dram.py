@@ -1,0 +1,65 @@
+"""Unit tests for the memory controller model."""
+
+import pytest
+
+from repro.mem.dram import MemoryController, MemorySpec
+
+
+class TestAccounting:
+    def test_totals_accumulate(self):
+        mem = MemoryController()
+        mem.begin_window(0.1)
+        mem.add_read(640)
+        mem.add_write(128)
+        assert mem.read_bytes == 640
+        assert mem.write_bytes == 128
+        assert mem.window_bytes == 768
+
+    def test_window_resets(self):
+        mem = MemoryController()
+        mem.begin_window(0.1)
+        mem.add_read(1000)
+        mem.end_window()
+        mem.begin_window(0.1)
+        assert mem.window_bytes == 0
+        assert mem.read_bytes == 1000  # totals persist
+
+    def test_end_window_returns_split(self):
+        mem = MemoryController()
+        mem.begin_window(0.1)
+        mem.add_read(100)
+        mem.add_write(50)
+        assert mem.end_window() == (100, 50)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MemoryController().begin_window(0)
+
+
+class TestBandwidthAndLatency:
+    def test_bandwidth_unscales_time(self):
+        mem = MemoryController(time_scale=1e-3)
+        mem.begin_window(1.0)
+        mem.add_read(1_000_000)  # 1 MB in one scaled second
+        assert mem.window_bandwidth() == pytest.approx(1e9)  # 1 GB/s real
+
+    def test_idle_latency(self):
+        mem = MemoryController()
+        assert mem.load_latency_cycles() == pytest.approx(
+            mem.spec.idle_latency_cycles)
+
+    def test_latency_grows_with_utilization(self):
+        spec = MemorySpec(peak_bytes_per_sec=1e9)
+        mem = MemoryController(spec=spec, time_scale=1.0)
+        mem.begin_window(1.0)
+        mem.add_read(int(0.9e9))
+        mem.end_window()
+        loaded = mem.load_latency_cycles()
+        assert loaded > spec.idle_latency_cycles * 1.5
+
+    def test_utilization_capped(self):
+        spec = MemorySpec(peak_bytes_per_sec=1e6)
+        mem = MemoryController(spec=spec, time_scale=1.0)
+        mem.begin_window(1.0)
+        mem.add_read(10**9)
+        assert mem.utilization() <= 0.98

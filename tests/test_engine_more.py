@@ -1,0 +1,111 @@
+"""Additional engine and workload-infrastructure coverage."""
+
+import numpy as np
+import pytest
+
+from repro.net.traffic import TrafficSpec
+from repro.sim.config import TINY_PLATFORM
+from repro.sim.engine import Simulation
+from repro.sim.platform import Platform
+from repro.tenants.tenant import Priority, Tenant
+from repro.workloads.testpmd import TestPmd
+from repro.workloads.xmem import XMem
+
+
+class TestMultipleControllers:
+    def test_intervals_independent(self):
+        platform = Platform(TINY_PLATFORM)
+        sim = Simulation(platform, seed=3)
+        sim.add_tenant(Tenant("x", cores=(0,), initial_ways=1),
+                       XMem("x", 64 << 10))
+        ticks = {"fast": 0, "slow": 0}
+
+        class Probe:
+            def __init__(self, name, interval):
+                self.name, self.interval_s = name, interval
+
+            def on_start(self, now):
+                pass
+
+            def on_interval(self, now):
+                ticks[self.name] += 1
+
+        sim.add_controller(Probe("fast", 0.1))
+        sim.add_controller(Probe("slow", 0.5))
+        sim.run(1.0)
+        assert ticks["fast"] == pytest.approx(10, abs=1)
+        assert ticks["slow"] == pytest.approx(2, abs=1)
+
+
+class TestEventEdgeCases:
+    def test_event_at_time_zero_fires(self):
+        platform = Platform(TINY_PLATFORM)
+        sim = Simulation(platform, seed=3)
+        sim.add_tenant(Tenant("x", cores=(0,), initial_ways=1),
+                       XMem("x", 64 << 10))
+        fired = []
+        sim.at(0.0, lambda: fired.append(True))
+        sim.run(TINY_PLATFORM.quantum_s * 2)
+        assert fired == [True]
+
+    def test_event_beyond_horizon_never_fires(self):
+        platform = Platform(TINY_PLATFORM)
+        sim = Simulation(platform, seed=3)
+        sim.add_tenant(Tenant("x", cores=(0,), initial_ways=1),
+                       XMem("x", 64 << 10))
+        fired = []
+        sim.at(99.0, lambda: fired.append(True))
+        sim.run(0.2)
+        assert fired == []
+
+
+class TestWarmRegion:
+    def test_oversized_region_samples_within_bounds(self, platform):
+        xmem = XMem("x", platform.spec.llc.capacity_bytes * 10)
+        base = 1 << 32
+        xmem.bind([platform.core_port(0, 1)], base,
+                  np.random.default_rng(0))
+        xmem.prefill()
+        filled = platform.llc.valid_lines()
+        assert 0 < filled <= platform.spec.llc.lines
+
+    def test_zero_byte_region_noop(self, platform):
+        xmem = XMem("x", 1 << 20)
+        xmem.bind([platform.core_port(0, 1)], 1 << 32,
+                  np.random.default_rng(0))
+        xmem.warm_region(1 << 32, 0)
+        assert platform.llc.valid_lines() == 0
+
+    def test_unbound_workload_prefill_noop(self):
+        xmem = XMem("x", 1 << 20)
+        xmem.prefill()  # no ports bound: must not raise
+
+
+class TestTimeScalePlumbing:
+    def test_workload_receives_platform_scale(self):
+        platform = Platform(TINY_PLATFORM)
+        sim = Simulation(platform, seed=1)
+        pmd_ring_nic = platform.add_nic("n", 40.0)
+        vf = pmd_ring_nic.add_vf(entries=8)
+        pmd = TestPmd("p", [vf.rx_ring])
+        sim.add_tenant(Tenant("p", cores=(0,), priority=Priority.PC,
+                              is_io=True, initial_ways=1), pmd)
+        assert pmd.time_scale == TINY_PLATFORM.time_scale
+
+    def test_queue_latency_uses_scaled_cycles(self):
+        platform = Platform(TINY_PLATFORM)
+        ring_nic = platform.add_nic("n", 40.0)
+        vf = ring_nic.add_vf(entries=8)
+        pmd = TestPmd("p", [vf.rx_ring],
+                      core_freq_hz=platform.spec.freq_hz)
+        pmd.time_scale = platform.spec.time_scale
+        port = platform.core_port(0, 1)
+        pmd.bind([port], platform.alloc_region(1 << 20),
+                 np.random.default_rng(0))
+        pmd.begin_quantum(0.0)
+        vf.rx_ring.post(64, now=0.0)
+        pmd.run(50_000, now=1.0)  # waited one simulated second
+        expected_wait = (platform.spec.freq_hz
+                         * platform.spec.time_scale)  # cycles elapsed
+        assert pmd.stats.avg_latency_cycles == pytest.approx(
+            expected_wait, rel=0.05)

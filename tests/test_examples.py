@@ -1,0 +1,43 @@
+"""Examples must at least parse and reference real APIs.
+
+Full example runs are minutes long; they are exercised manually and by
+the benchmarks covering the same scenarios.  Here we compile each one
+and verify its imports resolve.
+"""
+
+import ast
+import importlib
+import os
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+SCRIPTS = sorted(f for f in os.listdir(EXAMPLES) if f.endswith(".py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+class TestExamples:
+    def _tree(self, script):
+        with open(os.path.join(EXAMPLES, script)) as handle:
+            return ast.parse(handle.read(), filename=script)
+
+    def test_parses(self, script):
+        assert self._tree(script)
+
+    def test_has_main_and_docstring(self, script):
+        tree = self._tree(script)
+        assert ast.get_docstring(tree), f"{script} missing docstring"
+        names = {node.name for node in ast.walk(tree)
+                 if isinstance(node, ast.FunctionDef)}
+        assert "main" in names
+
+    def test_imports_resolve(self, script):
+        tree = self._tree(script)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module \
+                    and node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), \
+                        f"{script}: {node.module}.{alias.name}"

@@ -1,0 +1,120 @@
+"""Unit tests for the IAT Mealy FSM (paper Fig. 6)."""
+
+import pytest
+
+from repro.core.fsm import INITIAL_STATE, Signals, State, next_state
+
+
+def sig(**kwargs) -> Signals:
+    return Signals(**kwargs)
+
+
+class TestInitialAndKeepStates:
+    def test_boots_in_low_keep(self):
+        assert INITIAL_STATE is State.LOW_KEEP
+
+    def test_low_keep_stays_when_quiet(self):
+        assert next_state(State.LOW_KEEP, sig()) is State.LOW_KEEP
+
+    def test_edge1_low_keep_to_io_demand(self):
+        # Misses above THRESHOLD_MISS_LOW with growing hits => I/O.
+        out = next_state(State.LOW_KEEP, sig(miss_high=True, hit_up=True))
+        assert out is State.IO_DEMAND
+
+    def test_edge3_low_keep_to_core_demand(self):
+        # Fewer DDIO hits + more LLC refs => core is the contender.
+        out = next_state(State.LOW_KEEP,
+                         sig(miss_high=True, hit_down=True, llc_ref_up=True))
+        assert out is State.CORE_DEMAND
+
+    def test_low_keep_miss_high_alone_is_io(self):
+        assert next_state(State.LOW_KEEP,
+                          sig(miss_high=True)) is State.IO_DEMAND
+
+
+class TestIoDemand:
+    def test_stays_while_misses_high(self):
+        out = next_state(State.IO_DEMAND, sig(miss_high=True, miss_up=True))
+        assert out is State.IO_DEMAND
+
+    def test_edge10_to_high_keep_at_max(self):
+        out = next_state(State.IO_DEMAND,
+                         sig(miss_high=True, at_max_ways=True))
+        assert out is State.HIGH_KEEP
+
+    def test_edge6_to_reclaim_when_calmed(self):
+        out = next_state(State.IO_DEMAND, sig(miss_down=True,
+                                              miss_high=False))
+        assert out is State.RECLAIM
+
+    def test_no_reclaim_while_misses_still_high(self):
+        # Reclaim means "traffic is not intensive" (Sec. IV-C); a drop
+        # that leaves misses above the threshold must not reclaim.
+        out = next_state(State.IO_DEMAND, sig(miss_down=True,
+                                              miss_high=True))
+        assert out is State.IO_DEMAND
+
+    def test_edge7_to_core_demand(self):
+        out = next_state(State.IO_DEMAND, sig(hit_down=True, miss_up=True,
+                                              miss_high=True))
+        assert out is State.CORE_DEMAND
+
+
+class TestHighKeep:
+    def test_stays_under_pressure(self):
+        out = next_state(State.HIGH_KEEP, sig(miss_high=True,
+                                              at_max_ways=True))
+        assert out is State.HIGH_KEEP
+
+    def test_edge11_to_reclaim(self):
+        out = next_state(State.HIGH_KEEP, sig(miss_down=True,
+                                              at_max_ways=True))
+        assert out is State.RECLAIM
+
+    def test_edge12_to_core_demand(self):
+        out = next_state(State.HIGH_KEEP, sig(hit_down=True, miss_high=True,
+                                              at_max_ways=True))
+        assert out is State.CORE_DEMAND
+
+
+class TestCoreDemand:
+    def test_edge8_to_reclaim_on_balance(self):
+        out = next_state(State.CORE_DEMAND, sig(miss_down=True))
+        assert out is State.RECLAIM
+
+    def test_edge4_to_io_demand(self):
+        out = next_state(State.CORE_DEMAND, sig(miss_up=True,
+                                                miss_high=True))
+        assert out is State.IO_DEMAND
+
+    def test_stays_when_hit_down_and_miss_up(self):
+        out = next_state(State.CORE_DEMAND, sig(miss_up=True, hit_down=True,
+                                                miss_high=True))
+        assert out is State.CORE_DEMAND
+
+
+class TestReclaim:
+    def test_edge2_to_low_keep_at_min(self):
+        out = next_state(State.RECLAIM, sig(at_min_ways=True))
+        assert out is State.LOW_KEEP
+
+    def test_stays_while_reclaiming(self):
+        assert next_state(State.RECLAIM, sig()) is State.RECLAIM
+
+    def test_edge5_to_io_demand(self):
+        out = next_state(State.RECLAIM, sig(miss_up=True, miss_high=True))
+        assert out is State.IO_DEMAND
+
+    def test_edge9_to_core_demand(self):
+        out = next_state(State.RECLAIM, sig(miss_up=True, hit_down=True))
+        assert out is State.CORE_DEMAND
+
+
+class TestSignals:
+    def test_exclusive_miss_flags(self):
+        with pytest.raises(ValueError):
+            Signals(miss_up=True, miss_down=True)
+
+    def test_exclusive_hit_flags(self):
+        with pytest.raises(ValueError):
+            Signals(hit_up=True, hit_down=True)

@@ -1,0 +1,81 @@
+"""Property-based tests for the FSM: totality, closure, reachability."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fsm import INITIAL_STATE, Signals, State, next_state
+
+
+@st.composite
+def signals(draw):
+    miss = draw(st.sampled_from(["up", "down", "flat"]))
+    hit = draw(st.sampled_from(["up", "down", "flat"]))
+    return Signals(
+        miss_high=draw(st.booleans()),
+        miss_up=miss == "up", miss_down=miss == "down",
+        hit_up=hit == "up", hit_down=hit == "down",
+        llc_ref_up=draw(st.booleans()),
+        at_max_ways=draw(st.booleans()),
+        at_min_ways=draw(st.booleans()))
+
+
+class TestTotalityAndClosure:
+    @given(st.sampled_from(list(State)), signals())
+    def test_total_over_all_inputs(self, state, sig):
+        out = next_state(state, sig)
+        assert isinstance(out, State)
+
+    @given(st.lists(signals(), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_any_trajectory_stays_in_states(self, trace):
+        state = INITIAL_STATE
+        for sig in trace:
+            state = next_state(state, sig)
+            assert isinstance(state, State)
+
+
+class TestReachability:
+    def test_every_state_reachable_from_low_keep(self):
+        reached = {INITIAL_STATE}
+        frontier = [INITIAL_STATE]
+        corpus = []
+        for miss_high in (False, True):
+            for miss in ("up", "down", "flat"):
+                for hit in ("up", "down", "flat"):
+                    for at_max in (False, True):
+                        for at_min in (False, True):
+                            for ref_up in (False, True):
+                                corpus.append(Signals(
+                                    miss_high=miss_high,
+                                    miss_up=miss == "up",
+                                    miss_down=miss == "down",
+                                    hit_up=hit == "up",
+                                    hit_down=hit == "down",
+                                    llc_ref_up=ref_up,
+                                    at_max_ways=at_max,
+                                    at_min_ways=at_min))
+        while frontier:
+            state = frontier.pop()
+            for sig in corpus:
+                out = next_state(state, sig)
+                if out not in reached:
+                    reached.add(out)
+                    frontier.append(out)
+        assert reached == set(State)
+
+    def test_calming_traffic_converges_to_low_keep(self):
+        """From any state, sustained falling-miss signals with DDIO at
+        its minimum lead back to Low Keep within a few steps."""
+        calming = Signals(miss_high=False, miss_down=True, at_min_ways=True)
+        for start in State:
+            state = start
+            for _ in range(4):
+                state = next_state(state, calming)
+            assert state is State.LOW_KEEP
+
+    def test_sustained_pressure_reaches_high_keep(self):
+        pressure = Signals(miss_high=True, miss_up=True, hit_up=True,
+                           at_max_ways=True)
+        state = INITIAL_STATE
+        for _ in range(3):
+            state = next_state(state, pressure)
+        assert state is State.HIGH_KEEP

@@ -1,0 +1,114 @@
+"""Focused tests on CAT x DDIO interplay — the micro-mechanics every
+paper phenomenon reduces to."""
+
+import pytest
+
+from repro.cache.cat import ways_to_mask
+from repro.cache.geometry import CacheGeometry
+from repro.cache.llc import DDIO_OWNER, SlicedLLC
+
+GEO = CacheGeometry(ways=8, sets_per_slice=4, slices=2)
+
+
+def same_set_lines(count, geometry=GEO):
+    target = geometry.frame_index(0)[0]
+    found, addr = [0], 64
+    while len(found) < count:
+        if geometry.frame_index(addr)[0] == target:
+            found.append(addr)
+        addr += 64
+    return found
+
+
+class TestLatentContenderMicro:
+    """A core whose mask covers the DDIO ways evicts inbound data, and
+    vice versa — the Sec. III-B mechanism at single-set scale."""
+
+    def test_core_evicts_ddio_lines(self):
+        llc = SlicedLLC(GEO)
+        ddio_mask = ways_to_mask(6, 2)
+        lines = same_set_lines(12)
+        packets, core = lines[:2], lines[2:]
+        for addr in packets:
+            llc.ddio_write(addr, ddio_mask)
+        # A core masked onto the same two ways thrashes them.
+        for addr in core:
+            llc.access(addr, ddio_mask, owner=5)
+        assert not any(llc.contains(a) for a in packets)
+
+    def test_isolated_core_cannot_evict_ddio(self):
+        llc = SlicedLLC(GEO)
+        ddio_mask = ways_to_mask(6, 2)
+        core_mask = ways_to_mask(0, 6)
+        lines = same_set_lines(20)
+        packets, core = lines[:2], lines[2:]
+        for addr in packets:
+            llc.ddio_write(addr, ddio_mask)
+        for addr in core:
+            llc.access(addr, core_mask, owner=5)
+        assert all(llc.contains(a) for a in packets)
+
+    def test_ddio_evicts_overlapped_core_lines(self):
+        llc = SlicedLLC(GEO)
+        shared = ways_to_mask(6, 2)
+        lines = same_set_lines(12)
+        core_data, packets = lines[:2], lines[2:]
+        for addr in core_data:
+            llc.access(addr, shared, owner=5)
+        for addr in packets:
+            llc.ddio_write(addr, shared)
+        assert not any(llc.contains(a) for a in core_data)
+        occupancy = llc.occupancy_by_owner()
+        assert occupancy.get(5, 0) == 0
+        assert occupancy[DDIO_OWNER] > 0
+
+
+class TestLeakyDmaMicro:
+    """Write allocate vs write update across a recycle cycle — the
+    Sec. III-A mechanism."""
+
+    def test_fit_pool_all_updates_after_first_round(self):
+        llc = SlicedLLC(GEO)
+        ddio_mask = ways_to_mask(6, 2)  # capacity: 2 ways x 8 sets = 16
+        pool = same_set_lines(2)
+        for addr in pool:
+            assert not llc.ddio_write(addr, ddio_mask).hit
+        for _ in range(5):
+            for addr in pool:
+                assert llc.ddio_write(addr, ddio_mask).hit
+
+    def test_oversized_pool_keeps_allocating(self):
+        llc = SlicedLLC(GEO)
+        ddio_mask = ways_to_mask(6, 2)
+        pool = same_set_lines(5)  # 5 lines over a 2-way set
+        misses = 0
+        for _ in range(6):
+            for addr in pool:
+                if not llc.ddio_write(addr, ddio_mask).hit:
+                    misses += 1
+        assert misses > len(pool)  # keeps write-allocating every round
+
+    def test_widening_ddio_mask_stops_the_leak(self):
+        llc = SlicedLLC(GEO)
+        wide = ways_to_mask(3, 5)
+        pool = same_set_lines(5)
+        for addr in pool:
+            llc.ddio_write(addr, wide)
+        for _ in range(3):
+            for addr in pool:
+                assert llc.ddio_write(addr, wide).hit
+
+    def test_consumer_backstop(self):
+        """Footnote-1 consequence: a consumer refilling evicted buffers
+        into its own ways makes later DMA writes hit there."""
+        llc = SlicedLLC(GEO)
+        ddio_mask = ways_to_mask(6, 2)
+        consumer_mask = ways_to_mask(0, 6)
+        pool = same_set_lines(5)
+        for addr in pool:
+            llc.ddio_write(addr, ddio_mask)
+        # Consumer reads everything; misses refill into its own ways.
+        for addr in pool:
+            llc.access(addr, consumer_mask, owner=3)
+        for addr in pool:
+            assert llc.ddio_write(addr, ddio_mask).hit

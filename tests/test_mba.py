@@ -1,0 +1,73 @@
+"""Tests for the MBA extension (per-CLOS memory-bandwidth throttling)."""
+
+import pytest
+
+from repro.mem.mba import MBA_STEPS, MbaController, MbaError
+from repro.sim.config import TINY_PLATFORM
+from repro.sim.platform import Platform
+
+
+class TestMbaController:
+    def test_default_unthrottled(self):
+        mba = MbaController()
+        assert mba.get_throttle(3) == 0
+        assert mba.delay_factor(3) == 1.0
+
+    def test_valid_steps(self):
+        mba = MbaController()
+        for step in MBA_STEPS:
+            mba.set_throttle(1, step)
+            assert mba.get_throttle(1) == step
+
+    def test_delay_factor(self):
+        mba = MbaController()
+        mba.set_throttle(2, 50)
+        assert mba.delay_factor(2) == pytest.approx(2.0)
+        mba.set_throttle(2, 90)
+        assert mba.delay_factor(2) == pytest.approx(10.0)
+
+    def test_invalid_step_rejected(self):
+        mba = MbaController()
+        with pytest.raises(MbaError):
+            mba.set_throttle(0, 55)
+        with pytest.raises(MbaError):
+            mba.set_throttle(0, 100)
+
+    def test_invalid_cos_rejected(self):
+        mba = MbaController(num_cos=4)
+        with pytest.raises(MbaError):
+            mba.set_throttle(9, 10)
+        with pytest.raises(MbaError):
+            mba.get_throttle(-1)
+
+    def test_reset(self):
+        mba = MbaController()
+        mba.set_throttle(1, 30)
+        mba.reset()
+        assert mba.get_throttle(1) == 0
+
+
+class TestMbaOnPlatform:
+    def test_throttled_core_pays_more_for_misses(self):
+        platform = Platform(TINY_PLATFORM)
+        platform.cat.associate(0, 1)
+        platform.cat.associate(1, 2)
+        platform.mba.set_throttle(2, 80)
+        free = platform.core_port(0, 1)
+        slow = platform.core_port(1, 2)
+        free.begin_quantum()
+        slow.begin_quantum()
+        free_cost = free.access(0x100000)
+        slow_cost = slow.access(0x900000)
+        assert slow_cost > 3 * free_cost
+
+    def test_hits_unaffected_by_throttle(self):
+        platform = Platform(TINY_PLATFORM)
+        platform.cat.associate(0, 1)
+        platform.mba.set_throttle(1, 90)
+        port = platform.core_port(0, 1)
+        port.begin_quantum()
+        port.access(0x100000)          # miss (stretched)
+        hit_cost = port.access(0x100000)
+        from repro.workloads.base import LLC_HIT_CYCLES
+        assert hit_cost == LLC_HIT_CYCLES

@@ -1,0 +1,109 @@
+"""Unit tests for the experiment measurement helpers."""
+
+import pytest
+
+from repro.experiments.measure import (StatsWindow, WindowResult,
+                                       ddio_rates, mean_mem_bandwidth,
+                                       mean_tenant_ipc, steady_window,
+                                       sum_tenant_misses)
+from repro.sim.metrics import (MetricsRecorder, QuantumRecord,
+                               TenantSnapshot)
+from repro.workloads.base import Workload
+
+
+class _FakeWorkload(Workload):
+    def run_core(self, port, budget_cycles, now):
+        """Unused in these tests."""
+
+
+def make_records(n=10, dt=0.1):
+    recorder = MetricsRecorder()
+    for i in range(n):
+        recorder.append(QuantumRecord(
+            time=(i + 1) * dt,
+            tenants={"t": TenantSnapshot(ipc=1.0 + i * 0.1,
+                                         llc_references=100,
+                                         llc_misses=10 + i, mask=0b11)},
+            ddio_hits=50, ddio_misses=5,
+            ddio_mask=0b11 << 9,
+            mem_read_bytes=6400, mem_write_bytes=640))
+    return recorder
+
+
+class TestWindows:
+    def test_steady_window_skips_warmup(self):
+        recorder = make_records(10)
+        records = steady_window(recorder, warmup_s=0.5)
+        assert len(records) == 6  # t = 0.5 .. 1.0 inclusive
+        assert records[0].time >= 0.5
+
+    def test_steady_window_empty_recorder(self):
+        assert steady_window(MetricsRecorder(), 1.0) == []
+
+    def test_mean_tenant_ipc(self):
+        records = make_records(3).records
+        assert mean_tenant_ipc(records, "t") == pytest.approx(1.1)
+        assert mean_tenant_ipc([], "t") == 0.0
+
+    def test_sum_tenant_misses(self):
+        records = make_records(3).records
+        assert sum_tenant_misses(records, "t") == 10 + 11 + 12
+
+    def test_mem_bandwidth_unscales(self):
+        records = make_records(4).records
+        bw = mean_mem_bandwidth(records, quantum_s=0.1, time_scale=1e-3)
+        # 7040 bytes per 0.1 s scaled => 70.4 KB/s scaled => 70.4 MB/s.
+        assert bw == pytest.approx(7040 / 0.1 / 1e-3)
+
+    def test_ddio_rates(self):
+        records = make_records(4).records
+        hits, misses = ddio_rates(records, quantum_s=0.1, time_scale=1e-3)
+        assert hits == pytest.approx(4 * 50 / (4 * 0.1 * 1e-3))
+        assert misses == pytest.approx(4 * 5 / (4 * 0.1 * 1e-3))
+        assert ddio_rates([], 0.1, 1.0) == (0.0, 0.0)
+
+
+class TestStatsWindow:
+    def test_open_close_deltas(self):
+        work = _FakeWorkload("w")
+        window = StatsWindow(work)
+        work.stats.record_op(100.0)
+        window.open(1.0)
+        work.stats.record_op(200.0)
+        work.stats.record_op(300.0)
+        result = window.close(2.0)
+        assert result.ops == 2
+        assert result.latency_sum_cycles == 500.0
+        assert result.seconds == 1.0
+        assert result.avg_latency_cycles == 250.0
+
+    def test_ops_per_sec_unscaled(self):
+        result = WindowResult(seconds=2.0, ops=100,
+                              latency_sum_cycles=0.0, busy_cycles=0.0)
+        assert result.ops_per_sec(1e-3) == pytest.approx(50_000)
+        assert WindowResult(0.0, 0, 0.0, 0.0).ops_per_sec() == 0.0
+
+    def test_empty_window(self):
+        result = WindowResult(seconds=1.0, ops=0, latency_sum_cycles=0.0,
+                              busy_cycles=0.0)
+        assert result.avg_latency_cycles == 0.0
+
+
+class TestMetricsRecorder:
+    def test_series_extraction(self):
+        recorder = make_records(5)
+        assert recorder.times().tolist() == pytest.approx(
+            [0.1, 0.2, 0.3, 0.4, 0.5])
+        assert recorder.ddio_hits().sum() == 250
+        assert recorder.ddio_misses().sum() == 25
+        assert recorder.mem_bytes().sum() == 5 * 7040
+        assert recorder.tenant_series("t", "llc_misses").tolist() \
+            == [10, 11, 12, 13, 14]
+
+    def test_window_selection(self):
+        recorder = make_records(5)
+        inside = recorder.window(0.2, 0.4)
+        assert [r.time for r in inside] == pytest.approx([0.2, 0.3])
+
+    def test_total_ddio(self):
+        assert make_records(2).total_ddio() == (100, 10)

@@ -1,0 +1,145 @@
+"""Unit tests for Poll Prof Data: deltas, stability, special cases."""
+
+import pytest
+
+from repro.cache.cat import CatController
+from repro.cache.ddio import DdioConfig
+from repro.cache.geometry import TINY_LLC
+from repro.core.monitor import (ChangeKind, ProfMonitor, SystemSample,
+                                TenantSample, rel_change)
+from repro.core.params import IATParams
+from repro.perf.counters import CounterFile
+from repro.perf.msr import SimMsr
+from repro.perf.pqos import PqosLib
+from repro.perf.uncore import ChaCounters
+from repro.tenants.tenant import Priority, Tenant, TenantSet
+
+
+class TestRelChange:
+    def test_basic(self):
+        assert rel_change(110, 100) == pytest.approx(0.10)
+        assert rel_change(90, 100) == pytest.approx(-0.10)
+
+    def test_zero_previous(self):
+        assert rel_change(0, 0) == 0.0
+        assert rel_change(5, 0) == 1.0
+
+
+class TestTenantSample:
+    def test_miss_rate(self):
+        sample = TenantSample("t", 1.0, 100, 30)
+        assert sample.miss_rate == pytest.approx(0.3)
+
+    def test_miss_rate_no_refs(self):
+        assert TenantSample("t", 1.0, 0, 0).miss_rate == 0.0
+
+
+def build_monitor():
+    counters = CounterFile(num_cores=4)
+    uncore = ChaCounters(TINY_LLC)
+    cat = CatController(num_ways=TINY_LLC.ways)
+    pqos = PqosLib(counters, uncore, cat, SimMsr(DdioConfig(TINY_LLC)))
+    tenants = TenantSet([
+        Tenant("io", cores=(0,), priority=Priority.PC, is_io=True),
+        Tenant("appA", cores=(1,), priority=Priority.PC),
+        Tenant("appB", cores=(2,), priority=Priority.BE),
+    ])
+    monitor = ProfMonitor(pqos, tenants, IATParams(), time_scale=1.0)
+    return monitor, counters, uncore
+
+
+def credit(counters, core, instr=1000, cycles=1000, refs=100, misses=10):
+    counters.core(core).credit(instructions=instr, cycles=cycles,
+                               llc_references=refs, llc_misses=misses)
+
+
+def ddio_burst(uncore, hits=0, misses=0):
+    for i in range(TINY_LLC.slices):
+        uncore.hits[i] += hits // TINY_LLC.slices
+        uncore.misses[i] += misses // TINY_LLC.slices
+
+
+class TestClassification:
+    def classify(self, monitor, sample, overlap=frozenset()):
+        return monitor.classify(sample, ddio_at_max=False,
+                                ddio_at_min=True, ddio_overlap=set(overlap))
+
+    def steady(self, monitor, counters, uncore, rounds=2, **kwargs):
+        """Run identical-delta intervals so the monitor has a baseline."""
+        report = None
+        for _ in range(rounds):
+            for core in range(3):
+                credit(counters, core)
+            ddio_burst(uncore, hits=3600, misses=360)
+            report = self.classify(monitor, monitor.poll(), **kwargs)
+        return report
+
+    def test_stable_when_deltas_flat(self):
+        monitor, counters, uncore = build_monitor()
+        report = self.steady(monitor, counters, uncore, rounds=3)
+        assert report.kind is ChangeKind.STABLE
+
+    def test_ipc_only_change_ignored(self):
+        monitor, counters, uncore = build_monitor()
+        self.steady(monitor, counters, uncore)
+        # Same LLC/ddio pattern but very different cycle counts.
+        credit(counters, 0, instr=1000, cycles=5000)
+        credit(counters, 1)
+        credit(counters, 2)
+        ddio_burst(uncore, hits=3600, misses=360)
+        report = self.classify(monitor, monitor.poll())
+        assert report.kind is ChangeKind.IPC_ONLY
+
+    def test_core_side_when_non_io_changes_without_ddio(self):
+        monitor, counters, uncore = build_monitor()
+        self.steady(monitor, counters, uncore)
+        credit(counters, 0)
+        credit(counters, 1, refs=5000, misses=2500)  # appA explodes
+        credit(counters, 2)
+        ddio_burst(uncore, hits=3600, misses=360)
+        report = self.classify(monitor, monitor.poll())
+        assert report.kind is ChangeKind.CORE_SIDE
+        assert report.tenant == "appA"
+
+    def test_shuffle_first_when_overlapped_non_io_changes_with_ddio(self):
+        monitor, counters, uncore = build_monitor()
+        self.steady(monitor, counters, uncore, overlap={"appB"})
+        credit(counters, 0)
+        credit(counters, 1)
+        credit(counters, 2, refs=5000, misses=2500)  # appB (overlaps DDIO)
+        ddio_burst(uncore, hits=2000, misses=2000)   # DDIO moved too
+        report = self.classify(monitor, monitor.poll(),
+                               overlap={"appB"})
+        assert report.kind is ChangeKind.SHUFFLE_FIRST
+        assert report.tenant == "appB"
+
+    def test_fsm_when_io_tenant_changes_with_ddio(self):
+        monitor, counters, uncore = build_monitor()
+        self.steady(monitor, counters, uncore)
+        credit(counters, 0, refs=9000, misses=4000)  # the I/O tenant
+        credit(counters, 1)
+        credit(counters, 2)
+        ddio_burst(uncore, hits=1000, misses=5000)
+        report = self.classify(monitor, monitor.poll())
+        assert report.kind is ChangeKind.FSM
+        assert report.signals.miss_up
+
+    def test_miss_high_threshold(self):
+        monitor, counters, uncore = build_monitor()
+        ddio_burst(uncore, misses=2_000_000 * TINY_LLC.slices)
+        sample = monitor.poll()
+        report = self.classify(monitor, sample)
+        assert report.signals.miss_high
+
+    def test_poll_aggregates_per_tenant(self):
+        monitor, counters, uncore = build_monitor()
+        credit(counters, 1, refs=777, misses=77)
+        sample = monitor.poll()
+        assert sample.tenants["appA"].llc_references == 777
+        assert sample.total_llc_references >= 777
+
+    def test_close_releases_groups(self):
+        monitor, counters, uncore = build_monitor()
+        monitor.close()
+        with pytest.raises(KeyError):
+            monitor.poll()

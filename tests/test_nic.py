@@ -1,0 +1,92 @@
+"""Unit tests for the NIC / SR-IOV / DMA model."""
+
+import pytest
+
+from repro.cache.llc import SlicedLLC
+from repro.cache.geometry import TINY_LLC
+from repro.mem.dram import MemoryController
+from repro.pci.nic import Nic, line_rate_pps
+from repro.perf.uncore import ChaCounters
+
+
+def make_nic():
+    return Nic(name="nic0", link_gbps=40.0, region_base=1 << 30,
+               region_size=1 << 24)
+
+
+class TestLineRate:
+    def test_64b_at_100g_matches_paper(self):
+        # Sec. II-B: 64B + 20B overhead at 100 Gb => 148.8 Mpps.
+        assert line_rate_pps(100.0, 64) == pytest.approx(148.8e6, rel=0.01)
+
+    def test_larger_packets_fewer_pps(self):
+        assert line_rate_pps(40.0, 1500) < line_rate_pps(40.0, 64)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            line_rate_pps(40.0, 0)
+
+
+class TestVfManagement:
+    def test_add_vf_disjoint_regions(self):
+        nic = make_nic()
+        vf0 = nic.add_vf(entries=64, name="a")
+        vf1 = nic.add_vf(entries=64, name="b")
+        end0 = vf0.rx_ring.base_addr + vf0.rx_ring.footprint_bytes
+        assert vf1.rx_ring.base_addr >= end0
+
+    def test_vf_names_and_ids(self):
+        nic = make_nic()
+        vf = nic.add_vf(entries=64)
+        assert vf.vf_id == 0
+        assert vf.name == "nic0.vf0"
+
+    def test_region_exhaustion(self):
+        nic = Nic(name="n", link_gbps=40.0, region_base=0,
+                  region_size=1 << 12)
+        with pytest.raises(ValueError):
+            nic.add_vf(entries=1024)
+
+
+class TestDma:
+    def _machine(self):
+        llc = SlicedLLC(TINY_LLC)
+        mem = MemoryController()
+        mem.begin_window(0.1)
+        uncore = ChaCounters(TINY_LLC)
+        return llc, mem, uncore
+
+    def test_dma_writes_lines_through_ddio(self):
+        nic = make_nic()
+        vf = nic.add_vf(entries=64)
+        llc, mem, uncore = self._machine()
+        ddio_mask = 0b11 << (TINY_LLC.ways - 2)
+        assert nic.dma_packet(vf, 256, 0, llc, ddio_mask, mem, uncore)
+        sample = uncore.exact()
+        assert sample.hits + sample.misses == 4  # ceil(256/64) lines
+
+    def test_dma_second_write_same_slot_hits(self):
+        nic = make_nic()
+        vf = nic.add_vf(entries=64, pool_factor=1)
+        llc, mem, uncore = self._machine()
+        ddio_mask = 0b11 << (TINY_LLC.ways - 2)
+        # Fill every pool slot once, consuming as we go, then wrap.
+        for _ in range(64):
+            nic.dma_packet(vf, 64, 0, llc, ddio_mask, mem, uncore)
+            vf.rx_ring.consume()
+        before = uncore.exact().hits
+        nic.dma_packet(vf, 64, 0, llc, ddio_mask, mem, uncore)
+        assert uncore.exact().hits == before + 1  # write update
+
+    def test_dma_drop_on_full_ring(self):
+        nic = make_nic()
+        vf = nic.add_vf(entries=2)
+        llc, mem, uncore = self._machine()
+        ddio_mask = 0b11
+        assert nic.dma_packet(vf, 64, 0, llc, ddio_mask, mem, uncore)
+        assert nic.dma_packet(vf, 64, 0, llc, ddio_mask, mem, uncore)
+        assert not nic.dma_packet(vf, 64, 0, llc, ddio_mask, mem, uncore)
+        assert vf.drops == 1
+        # Dropped packets must not generate DDIO traffic.
+        sample = uncore.exact()
+        assert sample.hits + sample.misses == 2

@@ -1,0 +1,42 @@
+"""Tests pinning the paper's Table II parameters and their conversions."""
+
+import pytest
+
+from repro.core.params import IATParams
+
+
+class TestTableII:
+    def test_defaults_match_table_ii(self):
+        params = IATParams()
+        assert params.threshold_stable == 0.03            # 3%
+        assert params.threshold_miss_low_per_s == 1e6     # 1M/s
+        assert params.ddio_ways_min == 1
+        assert params.ddio_ways_max == 6
+        assert params.interval_s == 1.0                   # 1 second
+
+    def test_miss_threshold_scaling(self):
+        params = IATParams()
+        # On real hardware: 1M misses per 1 s interval.
+        assert params.miss_low_per_interval(1.0) == 1e6
+        # At the simulator's default 1/1000 rate scale: 1k per interval.
+        assert params.miss_low_per_interval(1e-3) == pytest.approx(1000.0)
+        # Longer intervals see proportionally more misses.
+        long = IATParams(interval_s=2.0)
+        assert long.miss_low_per_interval(1.0) == 2e6
+
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold_stable": 0.0},
+        {"threshold_stable": 1.5},
+        {"ddio_ways_min": 0},
+        {"ddio_ways_min": 4, "ddio_ways_max": 2},
+        {"interval_s": 0.0},
+        {"increment_mode": "exponential"},
+    ])
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            IATParams(**kwargs)
+
+    def test_frozen(self):
+        params = IATParams()
+        with pytest.raises(Exception):
+            params.interval_s = 5.0

@@ -1,0 +1,61 @@
+"""Unit tests for the plain-text rendering helpers."""
+
+import pytest
+
+from repro.experiments.report import (bar, bar_chart, layout_diagram,
+                                      mask_diagram, sparkline)
+
+
+class TestBar:
+    def test_full_and_half(self):
+        assert bar(10, 10, width=10) == "#" * 10
+        assert bar(5, 10, width=10) == "#" * 5
+
+    def test_clamps(self):
+        assert bar(20, 10, width=10) == "#" * 10
+        assert bar(-5, 10, width=10) == ""
+
+    def test_zero_max(self):
+        assert bar(1, 0) == ""
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            bar(1, 1, width=0)
+
+
+class TestBarChart:
+    def test_rows_aligned(self):
+        chart = bar_chart([("alpha", 2.0), ("b", 4.0)], width=8)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("alpha |")
+        assert "########" in lines[1]
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+
+class TestSparkline:
+    def test_monotonic(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] < line[-1]
+
+    def test_flat(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestMaskDiagram:
+    def test_basic(self):
+        assert mask_diagram(0b110, 4) == "[.XX.]"
+        assert mask_diagram(0b1, 3) == "[X..]"
+
+    def test_layout_diagram(self):
+        diagram = layout_diagram({"a": 0b11, "b": 0b1100}, 0b11 << 9, 11)
+        lines = diagram.splitlines()
+        assert len(lines) == 4
+        assert "XX........." in lines[1]
+        assert "DD" in lines[-1]

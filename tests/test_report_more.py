@@ -1,0 +1,46 @@
+"""Edge coverage for experiment table formatters (smoke on synthetic
+results, no simulation)."""
+
+from repro.experiments.ext_ddio import ExtPoint, ExtResult, format_table
+from repro.experiments.fig12_exec_time import Fig12Cell, Fig12Result
+from repro.experiments.fig12_exec_time import format_table as fmt12
+from repro.experiments.fig13_rocksdb_latency import (Fig13Cell, Fig13Result)
+from repro.experiments.fig13_rocksdb_latency import format_table as fmt13
+from repro.experiments.fig14_redis_ycsb import Fig14Cell, Fig14Result
+from repro.experiments.fig14_redis_ycsb import format_table as fmt14
+from repro.experiments.fig15_overhead import Fig15Point, Fig15Result
+from repro.experiments.fig15_overhead import format_table as fmt15
+from repro.experiments.sensitivity import (SensitivityPoint,
+                                           SensitivityResult)
+from repro.experiments.sensitivity import format_table as fmt_sens
+
+
+class TestFormatters:
+    def test_fig12_table(self):
+        table = fmt12(Fig12Result(
+            [Fig12Cell("kvs", "mcf", 1.0, 1.12, 1.01)]))
+        assert "mcf" in table and "1.120" in table
+
+    def test_fig13_table(self):
+        table = fmt13(Fig13Result([Fig13Cell("nfv", "A", 1.0, 1.5, 1.05)]))
+        assert "nfv" in table and "1.500" in table
+
+    def test_fig14_table(self):
+        table = fmt14(Fig14Result(
+            [Fig14Cell("A", "throughput", 0.2, 0.01, 0.03)]))
+        assert "throughput" in table and "20.0%" in table
+
+    def test_fig15_table(self):
+        table = fmt15(Fig15Result(
+            [Fig15Point(4, 1, 30.0, 32.0, 100.0, 120.0)]))
+        assert "30.0" in table
+
+    def test_ext_table(self):
+        table = format_table(ExtResult(
+            [ExtPoint("shared", 0.861, 0.17, 0.14, 5.3)]))
+        assert "86.1%" in table
+
+    def test_sensitivity_table(self):
+        table = fmt_sens(SensitivityResult(
+            [SensitivityPoint("interval", 1.0, 2e6, 3.5, 4)]))
+        assert "interval" in table and "2.00M" in table

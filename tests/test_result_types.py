@@ -1,0 +1,112 @@
+"""Edge-case tests for experiment result containers and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ext_ddio import ExtPoint, ExtResult
+from repro.experiments.fig03_ring_size import Fig3Result
+from repro.experiments.fig04_latent_contender import Fig4Point, Fig4Result
+from repro.experiments.fig08_leaky_dma import Fig8Point, Fig8Result
+from repro.experiments.fig10_shuffle import Fig10Point, Fig10Result
+from repro.experiments.fig11_timeline import Fig11Result
+from repro.experiments.fig12_exec_time import Fig12Cell, Fig12Result
+from repro.experiments.fig15_overhead import Fig15Result
+
+
+class TestFig3Result:
+    def test_relative_zero_reference(self):
+        result = Fig3Result((64,), (64, 1024),
+                            {(64, 64): 0.0, (64, 1024): 0.0})
+        assert result.relative(64, 64) == 0.0
+
+
+class TestFig4Result:
+    def test_zero_division_guards(self):
+        point = Fig4Point(4, 0.0, 0.0, 0.0, 0.0)
+        assert point.throughput_loss == 0.0
+        assert point.latency_gain == 0.0
+
+    def test_worst_selectors(self):
+        result = Fig4Result([
+            Fig4Point(4, 100.0, 80.0, 10.0, 14.0),
+            Fig4Point(8, 100.0, 95.0, 10.0, 11.0),
+        ])
+        assert result.worst_throughput_loss() == pytest.approx(0.2)
+        assert result.worst_latency_gain() == pytest.approx(0.4)
+
+
+class TestFig8Result:
+    def make(self):
+        base = Fig8Point(1500, "baseline", 1e6, 5e5, 10e9, 0.5, 1000, 2)
+        iat = Fig8Point(1500, "iat", 2e6, 1e5, 8e9, 0.6, 800, 6)
+        return Fig8Result([base, iat])
+
+    def test_reduction_and_gain(self):
+        result = self.make()
+        assert result.mem_bw_reduction(1500) == pytest.approx(0.2)
+        assert result.ipc_gain(1500) == pytest.approx(0.2)
+
+    def test_missing_point_raises(self):
+        with pytest.raises(KeyError):
+            self.make().point(64, "baseline")
+
+
+class TestFig10Result:
+    def test_gain_vs(self):
+        result = Fig10Result([
+            Fig10Point("baseline", 64, 10.0, 100.0, 8.0, 120.0),
+            Fig10Point("iat", 64, 15.0, 60.0, 16.0, 50.0),
+        ])
+        assert result.gain_vs("iat", "baseline", 64, phase=2) \
+            == pytest.approx(0.5)
+        assert result.gain_vs("iat", "baseline", 64, phase=3) \
+            == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            result.point("core-only", 64)
+
+
+class TestFig11Result:
+    def make(self):
+        return Fig11Result(
+            times=np.array([0.1, 0.2, 0.3, 0.4]),
+            c4_misses=np.array([10, 10, 50, 20]),
+            masks={"c4": [0b11, 0b11, 0b111, 0b111]},
+            ddio_masks=[0b11 << 9] * 4,
+            daemon_history=[])
+
+    def test_mask_at(self):
+        result = self.make()
+        assert result.mask_at("c4", 0.15) == 0b11
+        assert result.mask_at("c4", 0.35) == 0b111
+        assert result.mask_at("c4", 99.0) == 0b111
+
+    def test_reaction_delay(self):
+        result = self.make()
+        delay = result.reaction_delay(0.2, window=1.0)
+        assert delay == pytest.approx(0.1)
+
+    def test_reaction_delay_none_when_static(self):
+        result = self.make()
+        assert result.reaction_delay(0.35, window=0.05) is None
+
+
+class TestFig12Result:
+    def test_cell_lookup(self):
+        result = Fig12Result([Fig12Cell("kvs", "mcf", 1.0, 1.1, 1.02)])
+        assert result.cell("kvs", "mcf").iat == 1.02
+        with pytest.raises(KeyError):
+            result.cell("nfv", "mcf")
+
+
+class TestFig15Result:
+    def test_point_lookup_raises(self):
+        with pytest.raises(KeyError):
+            Fig15Result().point(1, 1)
+
+
+class TestExtResult:
+    def test_point_lookup(self):
+        result = ExtResult([ExtPoint("shared", 0.9, 0.5, 1.0, 10.0)])
+        assert result.point("shared").pc_ddio_hit_rate == 0.9
+        with pytest.raises(KeyError):
+            result.point("device-aware")

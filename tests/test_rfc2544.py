@@ -1,0 +1,65 @@
+"""Unit tests for the RFC 2544 zero-loss rate search."""
+
+import pytest
+
+from repro.net.rfc2544 import TrialResult, find_zero_loss_rate
+
+
+def capacity_trial(capacity_pps):
+    """Ideal DUT: drops iff offered exceeds capacity."""
+    def trial(offered):
+        dropped = int(max(0.0, offered - capacity_pps))
+        return TrialResult(offered_pps=offered,
+                           delivered_pps=min(offered, capacity_pps),
+                           dropped=dropped)
+    return trial
+
+
+class TestSearch:
+    def test_converges_near_capacity(self):
+        result = find_zero_loss_rate(capacity_trial(3000.0), 10_000.0,
+                                     resolution=0.01, max_trials=25)
+        assert result.max_loss_free_pps == pytest.approx(3000.0, rel=0.05)
+
+    def test_line_rate_capacity(self):
+        result = find_zero_loss_rate(capacity_trial(1e9), 10_000.0)
+        assert result.max_loss_free_pps == 10_000.0
+
+    def test_resolves_tiny_capacity(self):
+        """A capacity two orders below line rate must still be found —
+        the reason the search grows geometrically instead of bisecting
+        down from the ceiling."""
+        result = find_zero_loss_rate(capacity_trial(800.0), 60_000.0,
+                                     resolution=0.05, max_trials=20)
+        assert result.max_loss_free_pps == pytest.approx(800.0, rel=0.15)
+
+    def test_zero_capacity(self):
+        result = find_zero_loss_rate(capacity_trial(0.0), 10_000.0,
+                                     max_trials=10)
+        assert result.max_loss_free_pps < 100.0
+
+    def test_respects_max_trials(self):
+        result = find_zero_loss_rate(capacity_trial(1234.0), 100_000.0,
+                                     resolution=0.0001, max_trials=5)
+        assert result.trial_count <= 5
+
+    def test_trials_start_low_and_grow(self):
+        result = find_zero_loss_rate(capacity_trial(500.0), 1000.0,
+                                     max_trials=8)
+        assert all(isinstance(t, TrialResult) for t in result.trials)
+        offered = [t.offered_pps for t in result.trials]
+        assert offered[0] == pytest.approx(10.0)
+        assert offered[1] > offered[0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            find_zero_loss_rate(capacity_trial(1.0), 0.0)
+        with pytest.raises(ValueError):
+            find_zero_loss_rate(capacity_trial(1.0), 10.0, resolution=2.0)
+        with pytest.raises(ValueError):
+            find_zero_loss_rate(capacity_trial(1.0), 10.0,
+                                start_fraction=0.0)
+
+    def test_loss_free_flag(self):
+        assert TrialResult(10, 10, 0).loss_free
+        assert not TrialResult(10, 9, 1).loss_free

@@ -1,0 +1,88 @@
+"""Unit tests for descriptor rings."""
+
+import pytest
+
+from repro.pci.ring import DescRing, MBUF_STRIDE
+
+
+def make_ring(entries=8, pool_factor=1):
+    return DescRing(entries, base_addr=1 << 20, pool_factor=pool_factor)
+
+
+class TestBasics:
+    def test_post_and_consume_fifo(self):
+        ring = make_ring()
+        ring.post(64, flow_id=1)
+        ring.post(128, flow_id=2)
+        first = ring.consume()
+        second = ring.consume()
+        assert (first.size, first.flow_id) == (64, 1)
+        assert (second.size, second.flow_id) == (128, 2)
+
+    def test_occupancy_and_space(self):
+        ring = make_ring(entries=4)
+        assert ring.space == 4
+        ring.post(64)
+        assert ring.occupancy == 1
+        assert ring.space == 3
+
+    def test_consume_empty_returns_none(self):
+        assert make_ring().consume() is None
+        assert make_ring().peek() is None
+
+    def test_drop_when_full(self):
+        ring = make_ring(entries=2)
+        assert ring.post(64) is not None
+        assert ring.post(64) is not None
+        assert ring.post(64) is None
+        assert ring.dropped == 1
+        assert ring.enqueued == 2
+
+    def test_counters(self):
+        ring = make_ring(entries=4)
+        for _ in range(3):
+            ring.post(64)
+        ring.consume()
+        assert (ring.enqueued, ring.dequeued, ring.dropped) == (3, 1, 0)
+        ring.reset_counters()
+        assert (ring.enqueued, ring.dequeued, ring.dropped) == (0, 0, 0)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            DescRing(100, base_addr=0)
+
+    def test_positive_entries_required(self):
+        with pytest.raises(ValueError):
+            DescRing(0, base_addr=0)
+
+
+class TestBufferAddresses:
+    def test_slot_addresses_strided(self):
+        ring = make_ring(entries=4)
+        a = ring.post(64).buf_addr
+        b = ring.post(64).buf_addr
+        assert b - a == MBUF_STRIDE
+
+    def test_addresses_recycle_over_pool(self):
+        ring = make_ring(entries=2, pool_factor=1)
+        seen = []
+        for _ in range(4):
+            record = ring.post(64)
+            seen.append(record.buf_addr)
+            ring.consume()
+        assert seen[0] == seen[2]
+        assert seen[1] == seen[3]
+
+    def test_pool_factor_widens_footprint(self):
+        ring = make_ring(entries=2, pool_factor=2)
+        addrs = []
+        for _ in range(4):
+            addrs.append(ring.post(64).buf_addr)
+            ring.consume()
+        assert len(set(addrs)) == 4  # cycles over 4 pool slots, not 2
+        assert ring.footprint_bytes == 4 * MBUF_STRIDE
+
+    def test_arrival_stamp_recorded(self):
+        ring = make_ring()
+        record = ring.post(64, now=1.25)
+        assert record.arrival == 1.25

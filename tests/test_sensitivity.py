@@ -1,0 +1,27 @@
+"""Smoke tests for the parameter-sensitivity sweep."""
+
+import pytest
+
+from repro.experiments import sensitivity
+
+
+class TestSensitivity:
+    def test_one_point_runs(self):
+        point = sensitivity.run_one("threshold_stable", 0.03,
+                                    duration_s=3.0, warmup_s=1.5)
+        assert point.knob == "threshold_stable"
+        assert point.mean_ddio_ways >= 1.0
+        assert point.reallocations >= 0
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity.run_one("magic", 1.0)
+
+    def test_sweep_and_table(self):
+        result = sensitivity.run(
+            sweeps={"interval": (0.5, 1.0)},
+            duration_s=3.0, warmup_s=1.5)
+        assert len(result.for_knob("interval")) == 2
+        table = sensitivity.format_table(result)
+        assert "Sensitivity" in table
+        assert "interval" in table

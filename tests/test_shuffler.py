@@ -1,0 +1,70 @@
+"""Unit tests for the shuffling policy (who sits next to DDIO)."""
+
+from repro.core.shuffler import group_refs, placement_order, share_tenant
+from repro.tenants.tenant import Priority, Tenant, TenantSet
+
+
+def tenants_fixture():
+    return TenantSet([
+        Tenant("ovs", cores=(0,), priority=Priority.STACK, is_io=True),
+        Tenant("pc1", cores=(1,), priority=Priority.PC),
+        Tenant("pc0", cores=(2,), priority=Priority.PC),
+        Tenant("beA", cores=(3,), priority=Priority.BE),
+        Tenant("beB", cores=(4,), priority=Priority.BE),
+    ])
+
+
+class TestPlacementOrder:
+    def test_stack_first_pc_middle_be_last(self):
+        order = placement_order(tenants_fixture())
+        assert order[0] == "ovs"
+        assert set(order[1:3]) == {"pc0", "pc1"}
+        assert set(order[3:]) == {"beA", "beB"}
+
+    def test_pc_sorted_stably(self):
+        order = placement_order(tenants_fixture())
+        assert order[1:3] == ["pc0", "pc1"]
+
+    def test_smallest_ref_be_goes_on_top(self):
+        refs = {"beA": 100, "beB": 10_000}
+        order = placement_order(tenants_fixture(), refs)
+        # beB references more => placed lower; beA (least hungry) on top,
+        # adjacent to DDIO.
+        assert order[-1] == "beA"
+
+    def test_no_refs_sorts_be_by_name(self):
+        order = placement_order(tenants_fixture())
+        assert order[3:] == ["beA", "beB"]
+
+    def test_groups_collapse(self):
+        tenants = TenantSet([
+            Tenant("r0", cores=(0,), priority=Priority.PC, is_io=True,
+                   share_group="net"),
+            Tenant("r1", cores=(1,), priority=Priority.PC, is_io=True,
+                   share_group="net"),
+            Tenant("be", cores=(2,), priority=Priority.BE),
+        ])
+        order = placement_order(tenants)
+        assert order == ["net", "be"]
+
+
+class TestGroupRefs:
+    def test_sums_members(self):
+        tenants = TenantSet([
+            Tenant("a", cores=(0,), share_group="g"),
+            Tenant("b", cores=(1,), share_group="g"),
+        ])
+        assert group_refs(tenants, {"a": 3, "b": 4}) == {"g": 7}
+
+
+class TestShareTenant:
+    def test_picks_least_hungry_be(self):
+        refs = {"beA": 5_000, "beB": 50}
+        assert share_tenant(tenants_fixture(), refs) == "beB"
+
+    def test_falls_back_to_topmost_without_be(self):
+        tenants = TenantSet([
+            Tenant("pc0", cores=(0,), priority=Priority.PC),
+            Tenant("pc1", cores=(1,), priority=Priority.PC),
+        ])
+        assert share_tenant(tenants, {}) == "pc1"

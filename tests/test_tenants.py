@@ -1,0 +1,124 @@
+"""Unit tests for tenants, groups, and the affiliation registry."""
+
+import pytest
+
+from repro.tenants.registry import (RegistryError, TenantRegistry,
+                                    format_records, parse_records)
+from repro.tenants.tenant import Priority, Tenant, TenantSet
+
+
+class TestTenant:
+    def test_basic_properties(self):
+        tenant = Tenant("t", cores=(0, 1), priority=Priority.PC, is_io=True)
+        assert tenant.is_pc and not tenant.is_be and not tenant.is_stack
+        assert tenant.group == "t"
+
+    def test_share_group(self):
+        tenant = Tenant("redis0", cores=(0,), share_group="net")
+        assert tenant.group == "net"
+
+    def test_needs_cores(self):
+        with pytest.raises(ValueError):
+            Tenant("t", cores=())
+
+    def test_duplicate_cores_rejected(self):
+        with pytest.raises(ValueError):
+            Tenant("t", cores=(1, 1))
+
+
+class TestTenantSet:
+    def _tenants(self):
+        return TenantSet([
+            Tenant("ovs", cores=(0, 1), priority=Priority.STACK,
+                   is_io=True, share_group="net"),
+            Tenant("redis", cores=(2,), priority=Priority.PC, is_io=True,
+                   share_group="net"),
+            Tenant("app", cores=(3,), priority=Priority.PC),
+            Tenant("be0", cores=(4,), priority=Priority.BE),
+        ])
+
+    def test_core_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            TenantSet([Tenant("a", cores=(0,)), Tenant("b", cores=(0,))])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TenantSet([Tenant("a", cores=(0,)), Tenant("a", cores=(1,))])
+
+    def test_selectors(self):
+        tenants = self._tenants()
+        assert {t.name for t in tenants.io_tenants} == {"ovs", "redis"}
+        assert [t.name for t in tenants.be_tenants] == ["be0"]
+        assert tenants.stack.name == "ovs"
+        assert tenants.by_name("app").priority is Priority.PC
+        with pytest.raises(KeyError):
+            tenants.by_name("nope")
+
+    def test_all_cores_sorted(self):
+        assert self._tenants().all_cores == [0, 1, 2, 3, 4]
+
+    def test_groups(self):
+        tenants = self._tenants()
+        assert tenants.group_names() == ["net", "app", "be0"]
+        assert {t.name for t in tenants.group_members("net")} \
+            == {"ovs", "redis"}
+        # STACK dominates PC within the shared group.
+        assert tenants.group_priority("net") is Priority.STACK
+        assert tenants.group_priority("be0") is Priority.BE
+
+    def test_group_priority_unknown_group(self):
+        with pytest.raises(KeyError):
+            self._tenants().group_priority("nope")
+
+
+class TestRegistryFormat:
+    RECORDS = """\
+# comment line
+ovs cores=0,1 priority=STACK io=yes ways=2
+redis0 cores=2,3 priority=PC io=yes ways=3 group=net
+xmem cores=4 priority=BE io=no ways=2
+"""
+
+    def test_parse(self):
+        tenants = parse_records(self.RECORDS)
+        assert len(tenants) == 3
+        ovs = tenants.by_name("ovs")
+        assert ovs.priority is Priority.STACK and ovs.is_io
+        assert tenants.by_name("redis0").group == "net"
+        assert tenants.by_name("xmem").initial_ways == 2
+
+    def test_roundtrip(self):
+        tenants = parse_records(self.RECORDS)
+        again = parse_records(format_records(tenants))
+        assert [t.name for t in again] == [t.name for t in tenants]
+        assert [t.cores for t in again] == [t.cores for t in tenants]
+        assert [t.group for t in again] == [t.group for t in tenants]
+
+    @pytest.mark.parametrize("line", [
+        "solo",                       # no fields
+        "t cores=a,b",                # bad core list
+        "t cores=0 priority=WEIRD",   # unknown priority
+        "t cores=0 nonsense",         # field without '='
+        "t",                          # missing cores
+    ])
+    def test_malformed_lines(self, line):
+        with pytest.raises(RegistryError):
+            parse_records(line)
+
+    def test_file_registry_change_detection(self, tmp_path):
+        path = tmp_path / "tenants.txt"
+        path.write_text("a cores=0 priority=BE io=no\n")
+        registry = TenantRegistry(str(path))
+        registry.load()
+        assert not registry.changed()
+        import os
+        os.utime(path, (1, 1))
+        assert registry.changed()
+
+    def test_file_registry_save(self, tmp_path):
+        path = tmp_path / "tenants.txt"
+        registry = TenantRegistry(str(path))
+        tenants = TenantSet([Tenant("a", cores=(0,), initial_ways=3)])
+        registry.save(tenants)
+        loaded = registry.load()
+        assert loaded.by_name("a").initial_ways == 3

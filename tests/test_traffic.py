@@ -1,0 +1,112 @@
+"""Unit tests for traffic generation, zipf weights, and phases."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import lines_per_packet
+from repro.net.traffic import (Phase, PhasedTraffic, TrafficGen, TrafficSpec,
+                               zipf_weights)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(100, 0.99).sum() == pytest.approx(1.0)
+
+    def test_theta_zero_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_skew_orders_weights(self):
+        w = zipf_weights(50, 0.99)
+        assert all(w[i] >= w[i + 1] for i in range(49))
+        assert w[0] > 5 * w[-1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 0.99)
+
+
+class TestTrafficSpec:
+    def test_line_rate_scaled(self):
+        spec = TrafficSpec.line_rate(40.0, 64, scale=1e-3)
+        assert spec.pps == pytest.approx(40e9 / 8 / 84 * 1e-3)
+
+    def test_scaled_factor(self):
+        spec = TrafficSpec(pps=1000.0).scaled(0.5)
+        assert spec.pps == 500.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"pps": -1}, {"pps": 10, "packet_size": 0},
+        {"pps": 10, "n_flows": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficSpec(**kwargs)
+
+
+class TestTrafficGen:
+    def test_deterministic_rate_with_carry(self, rng):
+        gen = TrafficGen(TrafficSpec(pps=1000.0), rng)
+        total = sum(gen.packets(0.0101) for _ in range(100))
+        assert total == pytest.approx(1000 * 1.01, rel=0.01)
+
+    def test_fractional_rates_accumulate(self, rng):
+        gen = TrafficGen(TrafficSpec(pps=0.4), rng)
+        total = sum(gen.packets(1.0) for _ in range(10))
+        assert total == 4
+
+    def test_burstiness_varies_counts(self, rng):
+        gen = TrafficGen(TrafficSpec(pps=1000.0, burstiness=0.5), rng)
+        counts = [gen.packets(0.1) for _ in range(50)]
+        assert len(set(counts)) > 5  # not deterministic
+
+    def test_burstiness_preserves_mean_rate(self, rng):
+        gen = TrafficGen(TrafficSpec(pps=1000.0, burstiness=0.6), rng)
+        total = sum(gen.packets(0.1) for _ in range(3000))
+        assert total == pytest.approx(1000.0 * 0.1 * 3000, rel=0.05)
+
+    def test_single_flow_ids(self, rng):
+        gen = TrafficGen(TrafficSpec(pps=10.0), rng)
+        assert set(gen.flow_ids(20).tolist()) == {0}
+
+    def test_zipf_flow_ids_skewed(self, rng):
+        gen = TrafficGen(TrafficSpec(pps=10.0, n_flows=1000,
+                                     zipf_theta=0.99), rng)
+        ids = gen.flow_ids(5000)
+        # Head flows dominate under Zipf(0.99).
+        assert (ids < 10).mean() > 0.2
+
+    def test_zero_count(self, rng):
+        gen = TrafficGen(TrafficSpec(pps=10.0, n_flows=10), rng)
+        assert gen.flow_ids(0).size == 0
+
+
+class TestPhasedTraffic:
+    def test_spec_at_times(self):
+        phased = PhasedTraffic([
+            Phase(0.0, TrafficSpec(pps=100.0)),
+            Phase(5.0, TrafficSpec(pps=500.0)),
+        ])
+        assert phased.spec_at(0.0).pps == 100.0
+        assert phased.spec_at(4.9).pps == 100.0
+        assert phased.spec_at(5.0).pps == 500.0
+        assert phased.spec_at(100.0).pps == 500.0
+
+    def test_requires_phase_at_zero(self):
+        with pytest.raises(ValueError):
+            PhasedTraffic([Phase(1.0, TrafficSpec(pps=1.0))])
+
+    def test_requires_any_phase(self):
+        with pytest.raises(ValueError):
+            PhasedTraffic([])
+
+
+class TestPacketHelpers:
+    @pytest.mark.parametrize("size,lines", [(1, 1), (64, 1), (65, 2),
+                                            (1500, 24), (1024, 16)])
+    def test_lines_per_packet(self, size, lines):
+        assert lines_per_packet(size) == lines
+
+    def test_lines_per_packet_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lines_per_packet(0)

@@ -1,0 +1,55 @@
+"""Deeper virtual-switch behaviour: EMC scaling and lookup costs."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import TINY_PLATFORM
+from repro.sim.platform import Platform
+from repro.vswitch.flowtable import (EMC_HIT_CYCLES, FlowTables,
+                                     MEGAFLOW_CYCLES)
+
+
+def make(platform, emc_entries=64):
+    port = platform.core_port(0, 1)
+    port.begin_quantum()
+    tables = FlowTables(platform.alloc_region(1 << 24),
+                        emc_entries=emc_entries)
+    return port, tables
+
+
+class TestEmcScaling:
+    def test_small_population_high_hit_rate(self, platform):
+        port, tables = make(platform)
+        rng = np.random.default_rng(0)
+        for flow in rng.integers(0, 16, size=2000).tolist():
+            tables.lookup(port, int(flow))
+        assert tables.emc_hit_rate > 0.9
+
+    def test_large_population_thrashes_emc(self, platform):
+        port, tables = make(platform, emc_entries=64)
+        rng = np.random.default_rng(0)
+        for flow in rng.integers(0, 100_000, size=2000).tolist():
+            tables.lookup(port, int(flow))
+        # Nearly every lookup is an EMC miss -> wildcard path.
+        assert tables.emc_hit_rate < 0.1
+
+    def test_wildcard_lookup_costs_more(self, platform):
+        port, tables = make(platform)
+        miss = tables.lookup(port, 5)
+        hit = tables.lookup(port, 5)
+        assert not miss.emc_hit and hit.emc_hit
+        assert miss.cycles > hit.cycles
+        assert miss.cycles >= MEGAFLOW_CYCLES
+        assert hit.cycles >= EMC_HIT_CYCLES
+
+    def test_megaflow_footprint_grows_llc_pressure(self):
+        """More distinct flows touch more distinct table lines."""
+        counts = {}
+        for n_flows in (16, 4096):
+            platform = Platform(TINY_PLATFORM)
+            port, tables = make(platform, emc_entries=16)
+            rng = np.random.default_rng(1)
+            for flow in rng.integers(0, n_flows, size=1500).tolist():
+                tables.lookup(port, int(flow))
+            counts[n_flows] = port.block.llc_misses
+        assert counts[4096] > counts[16]

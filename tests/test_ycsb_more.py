@@ -1,0 +1,57 @@
+"""Additional YCSB and traffic-split coverage."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (READ_REQUEST_BYTES,
+                                      WRITE_REQUEST_BYTES,
+                                      ycsb_write_share)
+from repro.workloads.ycsb import (ALL_WORKLOADS, OpType, SCAN_LENGTH,
+                                  YcsbOpStream)
+
+
+class TestWriteShare:
+    @pytest.mark.parametrize("letter,expected", [
+        ("A", 0.5),    # 50% update
+        ("B", 0.05),
+        ("C", 0.0),
+        ("D", 0.05),   # 5% insert
+        ("F", 0.25),   # 50% RMW -> half write
+    ])
+    def test_share_per_letter(self, letter, expected):
+        assert ycsb_write_share(ALL_WORKLOADS[letter]) \
+            == pytest.approx(expected)
+
+    def test_request_sizes_bracket_threshold(self):
+        from repro.workloads.redis import RedisServer
+        assert READ_REQUEST_BYTES <= RedisServer.WRITE_REQUEST_THRESHOLD
+        assert WRITE_REQUEST_BYTES > RedisServer.WRITE_REQUEST_THRESHOLD
+
+
+class TestOpStreams:
+    def test_workload_b_read_heavy(self):
+        rng = np.random.default_rng(0)
+        stream = YcsbOpStream(ALL_WORKLOADS["B"], 1000, rng)
+        ops = stream.draw(4000)
+        updates = sum(1 for op, _ in ops if op is OpType.UPDATE)
+        assert 0.02 < updates / len(ops) < 0.10
+
+    def test_workload_e_scans(self):
+        rng = np.random.default_rng(0)
+        stream = YcsbOpStream(ALL_WORKLOADS["E"], 1000, rng)
+        ops = stream.draw(1000)
+        scans = sum(1 for op, _ in ops if op is OpType.SCAN)
+        assert scans > 800
+        assert SCAN_LENGTH >= 2
+
+    def test_zipf_head_dominates(self):
+        rng = np.random.default_rng(0)
+        stream = YcsbOpStream(ALL_WORKLOADS["C"], 100_000, rng)
+        keys = [k for _, k in stream.draw(5000)]
+        head = sum(1 for k in keys if k < 100)
+        assert head / len(keys) > 0.25  # zipf(0.99) head concentration
+
+    def test_draw_zero(self):
+        rng = np.random.default_rng(0)
+        stream = YcsbOpStream(ALL_WORKLOADS["A"], 10, rng)
+        assert stream.draw(0) == []
