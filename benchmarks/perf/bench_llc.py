@@ -1,0 +1,108 @@
+"""Microbenchmarks: scalar vs. array `SlicedLLC` on fixed access streams.
+
+Each benchmark builds one deterministic address stream, replays it
+through a scalar-backend LLC one access at a time (the reference hot
+path before batching) and through an array-backend LLC in batches, and
+reports wall time for both plus the hit/miss totals (which must match —
+the backends are bit-equivalent).
+
+Importable: :func:`run_micro` returns plain dicts for ``run.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cache.geometry import TINY_LLC, XEON_6140_LLC, CacheGeometry
+from repro.cache.llc import SlicedLLC
+
+#: Batch size used when replaying streams through the array backend;
+#: matches the order of magnitude the simulation's callers emit.
+BATCH = 2048
+
+
+def _scales(scale: str) -> "tuple[CacheGeometry, int]":
+    if scale == "tiny":
+        return TINY_LLC, 4_000
+    return XEON_6140_LLC, 400_000
+
+
+def _stream_resident(geom: CacheGeometry, n: int) -> "np.ndarray":
+    """Cycling over half a cache's worth of lines: hit-dominated."""
+    rng = np.random.default_rng(11)
+    lines = max(1, geom.lines // 2)
+    return rng.integers(0, lines, size=n) * geom.line_size
+
+
+def _stream_thrash(geom: CacheGeometry, n: int) -> "np.ndarray":
+    """Uniform over 8x the cache: miss/eviction-dominated."""
+    rng = np.random.default_rng(13)
+    return rng.integers(0, geom.lines * 8, size=n) * geom.line_size
+
+
+def _stream_ring(geom: CacheGeometry, n: int) -> "np.ndarray":
+    """DDIO-like: sequential lines cycling over a ring-buffer region."""
+    slots = 2048 * 32  # 2K descriptors x 2 KB mbufs in lines
+    return (np.arange(n, dtype=np.int64) % slots) * geom.line_size
+
+
+def _replay_scalar(llc: SlicedLLC, addrs, mask: int, *, write: bool,
+                   ddio: bool) -> "tuple[float, int]":
+    hits = 0
+    t0 = time.perf_counter()
+    if ddio:
+        for addr in addrs.tolist():
+            hits += llc.ddio_write(addr, mask).hit
+    else:
+        for addr in addrs.tolist():
+            hits += llc.access(addr, mask, write=write).hit
+    return time.perf_counter() - t0, hits
+
+
+def _replay_batch(llc: SlicedLLC, addrs, mask: int, *, write: bool,
+                  ddio: bool) -> "tuple[float, int]":
+    hits = 0
+    t0 = time.perf_counter()
+    for start in range(0, len(addrs), BATCH):
+        chunk = addrs[start:start + BATCH]
+        if ddio:
+            hits += llc.ddio_write_batch(chunk, mask).hits
+        else:
+            hits += llc.access_batch(chunk, mask, write=write).hits
+    return time.perf_counter() - t0, hits
+
+
+def run_micro(scale: str = "default") -> "list[dict]":
+    """Run every microbenchmark; returns one result dict per stream."""
+    geom, n = _scales(scale)
+    cases = [
+        ("resident_read", _stream_resident(geom, n), geom.full_mask,
+         False, False),
+        ("thrash_read", _stream_thrash(geom, n), geom.full_mask,
+         False, False),
+        ("ddio_ring_write", _stream_ring(geom, n), 0b11, False, True),
+    ]
+    results = []
+    for name, addrs, mask, write, ddio in cases:
+        scalar = SlicedLLC(geom, backend="scalar")
+        array = SlicedLLC(geom, backend="array")
+        scalar_s, scalar_hits = _replay_scalar(scalar, addrs, mask,
+                                               write=write, ddio=ddio)
+        array_s, array_hits = _replay_batch(array, addrs, mask,
+                                            write=write, ddio=ddio)
+        if scalar_hits != array_hits:
+            raise AssertionError(
+                f"{name}: backend divergence ({scalar_hits} vs {array_hits})")
+        if scalar.occupancy_by_owner() != array.occupancy_by_owner():
+            raise AssertionError(f"{name}: occupancy divergence")
+        results.append({
+            "name": name,
+            "accesses": int(len(addrs)),
+            "hits": int(scalar_hits),
+            "scalar_s": scalar_s,
+            "array_s": array_s,
+            "speedup": scalar_s / array_s if array_s else 0.0,
+        })
+    return results

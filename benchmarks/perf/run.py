@@ -1,0 +1,97 @@
+"""Perf-benchmark entry point: times scalar vs. array LLC backends and
+writes ``BENCH_llc.json`` so the perf trajectory is tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run.py [--scale default|tiny]
+                                                 [--out PATH]
+
+``--scale tiny`` runs every benchmark on shrunken geometry/duration so
+CI can validate the harness and the JSON schema in seconds; committed
+results use the default scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(os.path.dirname(_HERE)), "src")
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from bench_engine import run_engine  # noqa: E402
+from bench_llc import run_micro      # noqa: E402
+
+SCHEMA = "repro-bench-llc/1"
+DEFAULT_OUT = os.path.join(_HERE, "BENCH_llc.json")
+
+
+def run(scale: str = "default") -> dict:
+    micro = run_micro(scale)
+    engine = run_engine(scale)
+    return {
+        "schema": SCHEMA,
+        "created_utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "scale": scale,
+        "micro": micro,
+        "engine": engine,
+        # Headline number: end-to-end scalar/array on fig. 8 leaky DMA.
+        "speedup": engine["speedup"],
+    }
+
+
+def validate(doc: dict) -> None:
+    """Schema check shared with the tier-1 smoke test."""
+    assert doc.get("schema") == SCHEMA, "bad schema tag"
+    assert doc.get("scale") in ("default", "tiny")
+    assert isinstance(doc.get("created_utc"), str)
+    assert isinstance(doc.get("micro"), list) and doc["micro"]
+    for entry in doc["micro"]:
+        for key in ("name", "accesses", "hits", "scalar_s", "array_s",
+                    "speedup"):
+            assert key in entry, f"micro entry missing {key}"
+        assert entry["scalar_s"] >= 0 and entry["array_s"] > 0
+    engine = doc.get("engine")
+    assert isinstance(engine, dict)
+    for key in ("scenario", "packet_size", "duration_s", "scalar_s",
+                "array_s", "speedup", "metrics_match", "quanta"):
+        assert key in engine, f"engine result missing {key}"
+    assert engine["metrics_match"] is True, "backends diverged"
+    assert isinstance(doc.get("speedup"), float)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("default", "tiny"),
+                        default="default")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: BENCH_llc.json "
+                             "next to this script)")
+    args = parser.parse_args(argv)
+    doc = run(args.scale)
+    validate(doc)
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    for entry in doc["micro"]:
+        print(f"micro {entry['name']:>16}: scalar {entry['scalar_s']:.3f}s"
+              f"  array {entry['array_s']:.3f}s"
+              f"  speedup {entry['speedup']:.2f}x")
+    engine = doc["engine"]
+    print(f"engine {engine['scenario']}: scalar {engine['scalar_s']:.3f}s"
+          f"  array {engine['array_s']:.3f}s"
+          f"  speedup {engine['speedup']:.2f}x"
+          f"  metrics_match={engine['metrics_match']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

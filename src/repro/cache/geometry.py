@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 def _mix64(value: int) -> int:
     """Cheap 64-bit integer mixer (splitmix64 finalizer).
@@ -24,6 +26,17 @@ def _mix64(value: int) -> int:
     value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
     value = (value ^ (value >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
     return value ^ (value >> 31)
+
+
+def _mix64_batch(values: "np.ndarray") -> "np.ndarray":
+    """Vectorized :func:`_mix64` over a uint64 array (wrapping mod 2^64)."""
+    v = values.astype(np.uint64, copy=True)
+    v ^= v >> np.uint64(30)
+    v *= np.uint64(0xBF58476D1CE4E5B9)
+    v ^= v >> np.uint64(27)
+    v *= np.uint64(0x94D049BB133111EB)
+    v ^= v >> np.uint64(31)
+    return v
 
 
 @dataclass(frozen=True)
@@ -98,6 +111,26 @@ class CacheGeometry:
         """
         slice_id, set_id, tag = self.locate(addr)
         return slice_id * self.sets_per_slice + set_id, tag
+
+    # -- batched decomposition (the array LLC backend's hot path) --------
+    def frame_index_batch(self, addrs: "np.ndarray") -> "tuple[np.ndarray, np.ndarray]":
+        """Vectorized :meth:`frame_index` over an int64 address array.
+
+        Returns ``(flat_set_index, tag)`` arrays, element-wise identical
+        to calling :meth:`frame_index` per address.
+        """
+        lines = np.asarray(addrs, dtype=np.int64) // self.line_size
+        mixed = _mix64_batch(lines)
+        slices = np.uint64(self.slices)
+        slice_id = mixed % slices
+        set_id = (mixed // slices) % np.uint64(self.sets_per_slice)
+        index = (slice_id * np.uint64(self.sets_per_slice) + set_id)
+        return index.astype(np.int64), lines
+
+    def slice_of_batch(self, addrs: "np.ndarray") -> "np.ndarray":
+        """Vectorized slice ids (first element of :meth:`locate`)."""
+        lines = np.asarray(addrs, dtype=np.int64) // self.line_size
+        return (_mix64_batch(lines) % np.uint64(self.slices)).astype(np.int64)
 
 
 #: LLC geometry of the paper's testbed CPU (Table I).

@@ -14,12 +14,32 @@ the two hardware behaviours the paper's mechanics depend on:
 
 The replacement policy is true LRU within the permitted ways, with
 eviction preferring invalid ways.
+
+Two interchangeable storage backends implement the same semantics:
+
+* ``backend="scalar"`` — per-set Python lists, the reference
+  implementation.  Fastest for one-at-a-time accesses.
+* ``backend="array"``  — NumPy structure-of-arrays state with a
+  vectorized :meth:`SlicedLLC.access_batch` engine that processes an
+  entire address vector per call.  Outcomes are bit-identical to the
+  scalar backend for the same access sequence (the equivalence suite in
+  ``tests/test_llc_batch_equiv.py`` fuzzes this).
+
+Batch ordering guarantee: ``access_batch`` behaves exactly as if its
+addresses were issued one at a time in vector order.  Recency stamps are
+pre-assigned from the batch position, and accesses mapping to the same
+set are applied in vector order; accesses to different sets are
+independent under LRU, so the engine may process them concurrently.
+Under the ``"random"`` policy the replacement LCG is global state, so
+batches degrade to an in-order loop to keep seed-for-seed equivalence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+
+import numpy as np
 
 from .geometry import CacheGeometry
 
@@ -28,6 +48,20 @@ EMPTY = -1
 
 #: Owner id used for lines brought in by DDIO.
 DDIO_OWNER = -2
+
+#: ``victim_owner`` placeholder in batched outcomes when nothing was
+#: evicted (owner ids are >= DDIO_OWNER, so this value never collides).
+NO_VICTIM = -3
+
+#: Large stamp sentinels for vectorized victim selection: invalid ways
+#: sort below every real stamp, disallowed ways above.  Real stamps are
+#: access counts and stay far below 2**62.
+_STAMP_LO = -(1 << 62)
+_STAMP_HI = 1 << 62
+
+#: Batches smaller than this are processed with the per-access loop even
+#: on the array backend — NumPy kernel-launch overhead dominates under it.
+_VECTOR_MIN = 8
 
 
 @lru_cache(maxsize=4096)
@@ -54,9 +88,85 @@ class AccessOutcome:
     victim_owner: "int | None" = None
 
 
-#: Shared immutable outcome for the common hit case (avoids allocation
-#: in the hot loop).
+#: Shared immutable outcomes for the two allocation-free cases (avoids a
+#: dataclass allocation per access in the hot loops).
 HIT = AccessOutcome(hit=True)
+MISS = AccessOutcome(hit=False)
+
+
+@dataclass
+class BatchOutcome:
+    """Struct-of-arrays result of one :meth:`SlicedLLC.access_batch`.
+
+    Element ``i`` describes the outcome of address ``i`` of the batch,
+    with the same meaning as the :class:`AccessOutcome` fields;
+    ``victim_owner`` holds :data:`NO_VICTIM` where nothing was evicted.
+    """
+
+    hit: "np.ndarray"           # bool
+    fill: "np.ndarray"          # bool
+    evicted: "np.ndarray"       # bool
+    writeback: "np.ndarray"     # bool
+    victim_owner: "np.ndarray"  # int64, NO_VICTIM where not evicted
+
+    def __len__(self) -> int:
+        return len(self.hit)
+
+    # -- aggregates (what the batched callers actually consume) ----------
+    @property
+    def hits(self) -> int:
+        return int(np.count_nonzero(self.hit))
+
+    @property
+    def misses(self) -> int:
+        return len(self.hit) - self.hits
+
+    @property
+    def fills(self) -> int:
+        return int(np.count_nonzero(self.fill))
+
+    @property
+    def evictions(self) -> int:
+        return int(np.count_nonzero(self.evicted))
+
+    @property
+    def writebacks(self) -> int:
+        return int(np.count_nonzero(self.writeback))
+
+    def victim_owner_counts(self) -> "dict[int, int]":
+        """Evicted-line counts per owner id (empty if no evictions)."""
+        owners = self.victim_owner[self.evicted]
+        if owners.size == 0:
+            return {}
+        vals, counts = np.unique(owners, return_counts=True)
+        return dict(zip(vals.tolist(), counts.tolist()))
+
+    def outcome_at(self, i: int) -> AccessOutcome:
+        """Element ``i`` as a scalar :class:`AccessOutcome` (tests)."""
+        evicted = bool(self.evicted[i])
+        return AccessOutcome(
+            hit=bool(self.hit[i]), fill=bool(self.fill[i]), evicted=evicted,
+            writeback=bool(self.writeback[i]),
+            victim_owner=int(self.victim_owner[i]) if evicted else None)
+
+
+def _empty_batch(n: int) -> BatchOutcome:
+    return BatchOutcome(hit=np.zeros(n, dtype=bool),
+                        fill=np.zeros(n, dtype=bool),
+                        evicted=np.zeros(n, dtype=bool),
+                        writeback=np.zeros(n, dtype=bool),
+                        victim_owner=np.full(n, NO_VICTIM, dtype=np.int64))
+
+
+def _as_element_array(value, n: int, dtype) -> "np.ndarray":
+    """Broadcast a scalar or per-element sequence to shape ``(n,)``."""
+    arr = np.asarray(value, dtype=dtype)
+    if arr.ndim == 0:
+        return np.broadcast_to(arr, (n,))
+    if arr.shape != (n,):
+        raise ValueError(f"per-element argument has shape {arr.shape}, "
+                         f"expected ({n},)")
+    return arr
 
 
 class SlicedLLC:
@@ -65,31 +175,51 @@ class SlicedLLC:
     Owners are small integers identifying the agent (tenant id or
     ``DDIO_OWNER``) that allocated each line; they feed occupancy
     introspection (used by tests and the Fig. 11 timeline) and victim
-    attribution.
+    attribution.  Per-owner valid-line counts are maintained
+    incrementally, so :meth:`occupancy_by_owner` and :meth:`valid_lines`
+    are O(owners), not O(lines).
 
     ``policy`` selects the replacement policy within the permitted
     ways: ``"lru"`` (default, what the paper's analysis assumes) or
     ``"random"`` (a cheaper hardware policy, available for ablations —
     real Skylake LLCs use an adaptive policy between the two).
+
+    ``backend`` selects the storage engine (see module docstring):
+    ``"scalar"`` Python lists or ``"array"`` NumPy arrays with the
+    vectorized batch path.
     """
 
     def __init__(self, geometry: CacheGeometry, *,
-                 policy: str = "lru", seed: int = 11) -> None:
+                 policy: str = "lru", seed: int = 11,
+                 backend: str = "scalar") -> None:
         if policy not in ("lru", "random"):
             raise ValueError(f"unknown replacement policy {policy!r}")
+        if backend not in ("scalar", "array"):
+            raise ValueError(f"unknown LLC backend {backend!r}")
         self.geometry = geometry
         self.policy = policy
+        self.backend = backend
         nsets, nways = geometry.total_sets, geometry.ways
-        # One flat list per set keeps the per-access work at a C-speed
-        # ``list.index`` plus a tiny scan of <= `ways` entries.
-        self._tags = [[EMPTY] * nways for _ in range(nsets)]
-        self._stamp = [[0] * nways for _ in range(nsets)]
-        self._dirty = [[False] * nways for _ in range(nsets)]
-        self._owner = [[0] * nways for _ in range(nsets)]
+        if backend == "scalar":
+            # One flat list per set keeps the per-access work at a C-speed
+            # ``list.index`` plus a tiny scan of <= `ways` entries.
+            self._tags = [[EMPTY] * nways for _ in range(nsets)]
+            self._stamp = [[0] * nways for _ in range(nsets)]
+            self._dirty = [[False] * nways for _ in range(nsets)]
+            self._owner = [[0] * nways for _ in range(nsets)]
+        else:
+            self._tags = np.full((nsets, nways), EMPTY, dtype=np.int64)
+            self._stamp = np.zeros((nsets, nways), dtype=np.int64)
+            self._dirty = np.zeros((nsets, nways), dtype=bool)
+            self._owner = np.zeros((nsets, nways), dtype=np.int64)
+            self._way_range = np.arange(nways, dtype=np.int64)
         self._clock = 0
         # Cheap deterministic LCG for the random policy (avoids numpy
         # overhead in the per-access hot path).
         self._rand_state = seed or 1
+        # Incremental occupancy accounting: owner id -> valid lines.
+        self._occ: "dict[int, int]" = {}
+        self._valid = 0
 
     # ------------------------------------------------------------------
     # Core access paths
@@ -103,19 +233,31 @@ class SlicedLLC:
         (used for device reads).
         """
         index, tag = self.geometry.frame_index(addr)
-        tags = self._tags[index]
         self._clock += 1
-        try:
-            way = tags.index(tag)
-        except ValueError:
-            way = -1
-        if way >= 0:
-            self._stamp[index][way] = self._clock
-            if write:
-                self._dirty[index][way] = True
-            return HIT
+        if self.backend == "scalar":
+            tags = self._tags[index]
+            try:
+                way = tags.index(tag)
+            except ValueError:
+                way = -1
+            if way >= 0:
+                self._stamp[index][way] = self._clock
+                if write:
+                    self._dirty[index][way] = True
+                return HIT
+        else:
+            tags = self._tags[index].tolist()
+            try:
+                way = tags.index(tag)
+            except ValueError:
+                way = -1
+            if way >= 0:
+                self._stamp[index, way] = self._clock
+                if write:
+                    self._dirty[index, way] = True
+                return HIT
         if not allocate:
-            return AccessOutcome(hit=False)
+            return MISS
         return self._fill(index, tag, mask, write=write, owner=owner)
 
     def ddio_write(self, addr: int, ddio_mask: int) -> AccessOutcome:
@@ -131,6 +273,243 @@ class SlicedLLC:
         return self.access(addr, 0, allocate=False)
 
     # ------------------------------------------------------------------
+    # Batched access paths
+    # ------------------------------------------------------------------
+    def access_batch(self, addrs, mask, *, write=False, owner=0,
+                     allocate=True) -> BatchOutcome:
+        """Access a vector of cacheline addresses in vector order.
+
+        ``mask``, ``write``, ``owner`` and ``allocate`` may each be a
+        scalar (applied to every element) or a per-element array.
+        Outcomes are bit-identical to issuing the same sequence through
+        :meth:`access` one address at a time, on either backend (see the
+        module docstring for the ordering guarantee).
+        """
+        addrs = np.ascontiguousarray(addrs, dtype=np.int64)
+        n = addrs.shape[0]
+        if n == 0:
+            return _empty_batch(0)
+        if (self.backend == "array" and self.policy == "lru"
+                and n >= _VECTOR_MIN):
+            return self._access_batch_vector(addrs, mask, write, owner,
+                                             allocate)
+        return self._access_batch_loop(addrs, mask, write, owner, allocate)
+
+    def ddio_write_batch(self, addrs, ddio_mask: int) -> BatchOutcome:
+        """Batched :meth:`ddio_write` over an address vector."""
+        return self.access_batch(addrs, ddio_mask, write=True,
+                                 owner=DDIO_OWNER)
+
+    def device_read_batch(self, addrs) -> BatchOutcome:
+        """Batched :meth:`device_read` over an address vector."""
+        return self.access_batch(addrs, 0, allocate=False)
+
+    def _access_batch_loop(self, addrs, mask, write, owner,
+                           allocate) -> BatchOutcome:
+        """Reference batch path: per-access loop in vector order."""
+        n = addrs.shape[0]
+        out = _empty_batch(n)
+        mask = _as_element_array(mask, n, np.int64).tolist()
+        write = _as_element_array(write, n, bool).tolist()
+        owner = _as_element_array(owner, n, np.int64).tolist()
+        allocate = _as_element_array(allocate, n, bool).tolist()
+        hit = out.hit
+        fill = out.fill
+        evicted = out.evicted
+        writeback = out.writeback
+        victim_owner = out.victim_owner
+        for i, addr in enumerate(addrs.tolist()):
+            o = self.access(addr, mask[i], write=write[i], owner=owner[i],
+                            allocate=allocate[i])
+            if o.hit:
+                hit[i] = True
+            elif o.fill:
+                fill[i] = True
+                if o.evicted:
+                    evicted[i] = True
+                    victim_owner[i] = o.victim_owner
+                    if o.writeback:
+                        writeback[i] = True
+        return out
+
+    def _access_batch_vector(self, addrs, mask, write, owner,
+                             allocate) -> BatchOutcome:
+        """Vectorized set-grouped batch engine (array backend, LRU)."""
+        n = addrs.shape[0]
+        geom = self.geometry
+        index, tag = geom.frame_index_batch(addrs)
+        clk = self._clock + 1 + np.arange(n, dtype=np.int64)
+        self._clock += n
+        mask = _as_element_array(mask, n, np.int64)
+        write = _as_element_array(write, n, bool)
+        owner = _as_element_array(owner, n, np.int64)
+        allocate = _as_element_array(allocate, n, bool)
+        out = _empty_batch(n)
+
+        # Group by set: entries with rank r are the (r+1)-th access to
+        # their set within the batch.  All rank-r entries touch distinct
+        # sets, so each round is conflict-free and fully vectorized;
+        # rounds run in ascending rank, so same-set accesses apply in
+        # vector order (cross-set order is irrelevant under LRU because
+        # the pre-assigned clocks already encode batch position).  Once
+        # rounds shrink below the vectorization payoff — realistic
+        # streams concentrate almost everything in the first round or
+        # two — the tail is applied one access at a time.
+        alloc_mask = mask & geom.full_mask
+        order = np.argsort(index, kind="stable")
+        sorted_index = index[order]
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        np.not_equal(sorted_index[1:], sorted_index[:-1], out=first[1:])
+        if first.all():
+            self._batch_round(order, index, tag, clk, alloc_mask, mask,
+                              write, owner, allocate, out)
+            return out
+        starts = np.flatnonzero(first)
+        group = np.cumsum(first) - 1
+        rank = np.arange(n, dtype=np.int64) - starts[group]
+        for r in range(int(rank.max()) + 1):
+            sel = order[rank == r]
+            if r > 0 and sel.size < 64:
+                self._apply_sequential(order[rank >= r].tolist(), index,
+                                       tag, clk, alloc_mask, mask, write,
+                                       owner, allocate, out)
+                break
+            self._batch_round(sel, index, tag, clk, alloc_mask, mask,
+                              write, owner, allocate, out)
+        return out
+
+    def _apply_sequential(self, sel, index, tag, clk, alloc_mask, raw_mask,
+                          write, owner, allocate, out) -> None:
+        """Apply the set-colliding remainder of a batch in order (LRU)."""
+        tags_m = self._tags
+        stamp_m = self._stamp
+        dirty_m = self._dirty
+        owner_m = self._owner
+        occ = self._occ
+        for i in sel:
+            row = int(index[i])
+            tg = int(tag[i])
+            row_tags = tags_m[row].tolist()
+            try:
+                way = row_tags.index(tg)
+            except ValueError:
+                way = -1
+            if way >= 0:
+                stamp_m[row, way] = clk[i]
+                if write[i]:
+                    dirty_m[row, way] = True
+                out.hit[i] = True
+                continue
+            if not allocate[i]:
+                continue
+            m = int(alloc_mask[i])
+            if m == 0:
+                if int(raw_mask[i]) == 0:
+                    raise ValueError("cannot allocate with an empty way mask")
+                raise ValueError("way mask selects no ways within geometry")
+            allowed = _ways_of_mask(m)
+            stamps = stamp_m[row].tolist()
+            victim = -1
+            victim_stamp = None
+            for w in allowed:
+                if row_tags[w] == EMPTY:
+                    victim = w
+                    victim_stamp = None
+                    break
+                if victim_stamp is None or stamps[w] < victim_stamp:
+                    victim = w
+                    victim_stamp = stamps[w]
+            evicted = row_tags[victim] != EMPTY
+            new_owner = int(owner[i])
+            out.fill[i] = True
+            if evicted:
+                out.evicted[i] = True
+                victim_owner = int(owner_m[row, victim])
+                out.victim_owner[i] = victim_owner
+                if dirty_m[row, victim]:
+                    out.writeback[i] = True
+                left = occ[victim_owner] - 1
+                if left:
+                    occ[victim_owner] = left
+                else:
+                    del occ[victim_owner]
+            else:
+                self._valid += 1
+            occ[new_owner] = occ.get(new_owner, 0) + 1
+            tags_m[row, victim] = tg
+            stamp_m[row, victim] = clk[i]
+            dirty_m[row, victim] = write[i]
+            owner_m[row, victim] = new_owner
+
+    def _batch_round(self, sel, index, tag, clk, alloc_mask, raw_mask, write,
+                     owner, allocate, out) -> None:
+        """Apply one conflict-free (distinct-set) group of accesses."""
+        rows = index[sel]
+        row_tags = self._tags[rows]                     # (m, ways) gather
+        eq = row_tags == tag[sel, None]
+        hit = eq.any(axis=1)
+        if hit.any():
+            hit_sel = sel[hit]
+            hit_rows = rows[hit]
+            hit_ways = eq.argmax(axis=1)[hit]
+            self._stamp[hit_rows, hit_ways] = clk[hit_sel]
+            hw = write[hit_sel]
+            if hw.any():
+                self._dirty[hit_rows[hw], hit_ways[hw]] = True
+            out.hit[hit_sel] = True
+        miss = ~hit & allocate[sel]
+        if not miss.any():
+            return
+        miss_sel = sel[miss]
+        miss_rows = rows[miss]
+        allowed = (alloc_mask[miss_sel, None] >> self._way_range) & 1 != 0
+        if not allowed.any(axis=1).all():
+            if (raw_mask[miss_sel] == 0).any():
+                raise ValueError("cannot allocate with an empty way mask")
+            raise ValueError("way mask selects no ways within geometry")
+        # Victim selection key per way: invalid allowed ways sort first
+        # (lowest way index wins), then LRU stamp among allowed ways;
+        # argmin's first-match tie-break mirrors the scalar scan order.
+        stamps = self._stamp[miss_rows]
+        invalid = row_tags[miss] == EMPTY
+        key = np.where(allowed,
+                       np.where(invalid, _STAMP_LO + self._way_range, stamps),
+                       _STAMP_HI)
+        victim = key.argmin(axis=1)
+        take = np.arange(len(miss_rows))
+        victim_tags = row_tags[miss][take, victim]
+        evicted = victim_tags != EMPTY
+        writeback = evicted & self._dirty[miss_rows, victim]
+        victim_owner = self._owner[miss_rows, victim]
+        new_owner = owner[miss_sel]
+        self._tags[miss_rows, victim] = tag[miss_sel]
+        self._stamp[miss_rows, victim] = clk[miss_sel]
+        self._dirty[miss_rows, victim] = write[miss_sel]
+        self._owner[miss_rows, victim] = new_owner
+        out.fill[miss_sel] = True
+        out.evicted[miss_sel] = evicted
+        out.writeback[miss_sel] = writeback
+        out.victim_owner[miss_sel[evicted]] = victim_owner[evicted]
+        # Occupancy bookkeeping.
+        self._valid += len(miss_rows) - int(np.count_nonzero(evicted))
+        self._occ_update(new_owner, victim_owner[evicted])
+
+    def _occ_update(self, filled_owners, evicted_owners) -> None:
+        occ = self._occ
+        vals, counts = np.unique(filled_owners, return_counts=True)
+        for o, c in zip(vals.tolist(), counts.tolist()):
+            occ[o] = occ.get(o, 0) + c
+        if evicted_owners.size:
+            vals, counts = np.unique(evicted_owners, return_counts=True)
+            for o, c in zip(vals.tolist(), counts.tolist()):
+                left = occ[o] - c
+                if left:
+                    occ[o] = left
+                else:
+                    del occ[o]
+
+    # ------------------------------------------------------------------
     # Fill / eviction
     # ------------------------------------------------------------------
     def _fill(self, index: int, tag: int, mask: int, *, write: bool,
@@ -140,8 +519,13 @@ class SlicedLLC:
         allowed = _ways_of_mask(mask & self.geometry.full_mask)
         if not allowed:
             raise ValueError("way mask selects no ways within geometry")
-        tags = self._tags[index]
-        stamps = self._stamp[index]
+        scalar = self.backend == "scalar"
+        if scalar:
+            tags = self._tags[index]
+            stamps = self._stamp[index]
+        else:
+            tags = self._tags[index].tolist()
+            stamps = self._stamp[index].tolist()
         victim = -1
         victim_stamp = None
         for way in allowed:
@@ -160,12 +544,31 @@ class SlicedLLC:
                 & 0x7FFFFFFF
             victim = allowed[(self._rand_state >> 16) % len(allowed)]
         evicted = tags[victim] != EMPTY
-        writeback = evicted and self._dirty[index][victim]
-        victim_owner = self._owner[index][victim] if evicted else None
-        tags[victim] = tag
-        stamps[victim] = self._clock
-        self._dirty[index][victim] = write
-        self._owner[index][victim] = owner
+        if scalar:
+            writeback = evicted and self._dirty[index][victim]
+            victim_owner = self._owner[index][victim] if evicted else None
+            tags[victim] = tag
+            stamps[victim] = self._clock
+            self._dirty[index][victim] = write
+            self._owner[index][victim] = owner
+        else:
+            writeback = evicted and bool(self._dirty[index, victim])
+            victim_owner = int(self._owner[index, victim]) if evicted \
+                else None
+            self._tags[index, victim] = tag
+            self._stamp[index, victim] = self._clock
+            self._dirty[index, victim] = write
+            self._owner[index, victim] = owner
+        # Occupancy bookkeeping.
+        if evicted:
+            left = self._occ[victim_owner] - 1
+            if left:
+                self._occ[victim_owner] = left
+            else:
+                del self._occ[victim_owner]
+        else:
+            self._valid += 1
+        self._occ[owner] = self._occ.get(owner, 0) + 1
         return AccessOutcome(hit=False, fill=True, evicted=evicted,
                              writeback=writeback, victim_owner=victim_owner)
 
@@ -174,31 +577,41 @@ class SlicedLLC:
     # ------------------------------------------------------------------
     def contains(self, addr: int) -> bool:
         index, tag = self.geometry.frame_index(addr)
-        return tag in self._tags[index]
+        if self.backend == "scalar":
+            return tag in self._tags[index]
+        return bool((self._tags[index] == tag).any())
 
     def way_of(self, addr: int) -> "int | None":
         index, tag = self.geometry.frame_index(addr)
+        if self.backend == "scalar":
+            tags = self._tags[index]
+        else:
+            tags = self._tags[index].tolist()
         try:
-            return self._tags[index].index(tag)
+            return tags.index(tag)
         except ValueError:
             return None
 
     def occupancy_by_owner(self) -> "dict[int, int]":
-        """Valid-line counts per owner id across the whole cache."""
-        counts: "dict[int, int]" = {}
-        for tags, owners in zip(self._tags, self._owner):
-            for tag, owner in zip(tags, owners):
-                if tag != EMPTY:
-                    counts[owner] = counts.get(owner, 0) + 1
-        return counts
+        """Valid-line counts per owner id across the whole cache.
+
+        O(owners): served from the incrementally maintained counters.
+        """
+        return dict(self._occ)
 
     def valid_lines(self) -> int:
-        return sum(1 for tags in self._tags for tag in tags if tag != EMPTY)
+        return self._valid
 
     def flush(self) -> None:
         """Invalidate every line (no writeback accounting)."""
-        nways = self.geometry.ways
-        for index in range(len(self._tags)):
-            self._tags[index] = [EMPTY] * nways
-            self._dirty[index] = [False] * nways
+        if self.backend == "scalar":
+            nways = self.geometry.ways
+            for index in range(len(self._tags)):
+                self._tags[index] = [EMPTY] * nways
+                self._dirty[index] = [False] * nways
+        else:
+            self._tags.fill(EMPTY)
+            self._dirty.fill(False)
         self._clock = 0
+        self._occ = {}
+        self._valid = 0

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..cache.geometry import CacheGeometry
 
 
@@ -49,6 +51,24 @@ class ChaCounters:
             self.hits[slice_id] += 1
         else:
             self.misses[slice_id] += 1
+
+    def record_ddio_batch(self, addrs, hit) -> None:
+        """Record a vector of DDIO transactions (one bincount per kind).
+
+        ``hit`` is a per-element boolean array aligned with ``addrs``.
+        Equivalent to calling :meth:`record_ddio` per address.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size == 0:
+            return
+        slices = self.geometry.slice_of_batch(addrs)
+        hit = np.asarray(hit, dtype=bool)
+        nslices = self.geometry.slices
+        hit_counts = np.bincount(slices[hit], minlength=nslices)
+        miss_counts = np.bincount(slices[~hit], minlength=nslices)
+        for s in range(nslices):
+            self.hits[s] += int(hit_counts[s])
+            self.misses[s] += int(miss_counts[s])
 
     def sample(self) -> DdioSample:
         """Paper-style estimate: one slice's counts x slice count."""

@@ -32,6 +32,9 @@ class PlatformSpec:
     quantum_s: float = 0.1
     #: Producer/consumer interleaving steps per quantum.
     subquanta: int = 5
+    #: LLC storage engine: ``"array"`` (vectorized batches) or
+    #: ``"scalar"`` (reference lists).  Bit-equivalent outcomes.
+    llc_backend: str = "array"
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -40,6 +43,8 @@ class PlatformSpec:
             raise ValueError("time_scale must be in (0, 1]")
         if self.quantum_s <= 0 or self.subquanta < 1:
             raise ValueError("bad quantum configuration")
+        if self.llc_backend not in ("scalar", "array"):
+            raise ValueError(f"unknown LLC backend {self.llc_backend!r}")
 
     @property
     def cycles_per_quantum(self) -> float:

@@ -15,6 +15,7 @@ flows appear...", Fig. 7).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -124,9 +125,8 @@ class Simulation:
 
     def at(self, time: float, action: "Callable[[], None]") -> None:
         """Schedule a phase-change callback at simulated ``time``."""
-        self._events.append(_Event(time, self._event_seq, action))
+        heapq.heappush(self._events, _Event(time, self._event_seq, action))
         self._event_seq += 1
-        self._events.sort()
 
     # ------------------------------------------------------------------
     # Execution
@@ -166,7 +166,7 @@ class Simulation:
 
     def _fire_events(self) -> None:
         while self._events and self._events[0].time <= self.now + 1e-12:
-            self._events.pop(0).action()
+            heapq.heappop(self._events).action()
 
     def _deliver_traffic(self, dt: float, now: float) -> None:
         platform = self.platform
@@ -180,10 +180,10 @@ class Simulation:
                 continue
             flows = binding.gen.flow_ids(count)
             size = binding.gen.spec.packet_size
-            for flow in flows.tolist():
-                binding.nic.dma_packet(binding.vf, size, int(flow),
-                                       platform.llc, platform.ddio.mask,
-                                       platform.mem, platform.uncore, now)
+            binding.nic.dma_burst(binding.vf, [size] * count,
+                                  flows.tolist(), platform.llc,
+                                  platform.ddio.mask, platform.mem,
+                                  platform.uncore, now)
 
     def _run_controllers(self) -> None:
         for i, controller in enumerate(self.controllers):

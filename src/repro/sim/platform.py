@@ -54,7 +54,7 @@ class Platform:
 
     def __post_init__(self) -> None:
         spec = self.spec
-        self.llc = SlicedLLC(spec.llc)
+        self.llc = SlicedLLC(spec.llc, backend=spec.llc_backend)
         # Real Skylake-SP exposes 16 CLOS; allow more on simulated
         # platforms with more tenants than that (e.g. the Fig. 15
         # overhead sweep) so every tenant still gets its own class.

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..workloads.base import CorePort
+from ..workloads.base import AccessPlan, CorePort
 
 #: OVS default EMC size.
 EMC_ENTRIES = 8192
@@ -79,6 +79,26 @@ class FlowTables:
         cycles += port.access(self._emc_base + slot * EMC_ENTRY_BYTES,
                               write=True)
         return LookupResult(False, cycles + MEGAFLOW_CYCLES)
+
+    def plan_lookup(self, plan: AccessPlan, flow_id: int,
+                    pkt: int) -> float:
+        """Batched twin of :meth:`lookup`: appends the same accesses (in
+        the same order, with identical EMC state updates) to ``plan`` and
+        returns the lookup's fixed cycle cost."""
+        slot = flow_id % self.emc_entries
+        plan.add(self._emc_base + slot * EMC_ENTRY_BYTES, 1, pkt=pkt)
+        if self._emc_tags[slot] == flow_id:
+            self.emc_hits += 1
+            return EMC_HIT_CYCLES
+        self.emc_misses += 1
+        self._emc_tags[slot] = flow_id
+        entry = self._mega_base + (flow_id % self.megaflow_capacity) \
+            * MEGAFLOW_ENTRY_BYTES
+        for probe in range(MEGAFLOW_PROBES):
+            plan.add(entry + (probe % 2) * 64, 1, pkt=pkt)
+        plan.add(self._emc_base + slot * EMC_ENTRY_BYTES, 1, write=True,
+                 pkt=pkt)
+        return MEGAFLOW_CYCLES
 
     @property
     def emc_hit_rate(self) -> float:

@@ -19,9 +19,9 @@ from __future__ import annotations
 
 from ..net.packet import lines_per_packet
 from ..pci.ring import DescRing, PacketRecord
-from ..workloads.base import CorePort
+from ..workloads.base import AccessPlan, CorePort
 from ..workloads.netbase import BUFFER_MLP, RingConsumer
-from .flowtable import FlowTables
+from .flowtable import MEGAFLOW_CYCLES, MEGAFLOW_PROBES, FlowTables
 
 #: Fixed per-packet cost: vhost descriptor handling + return-path Tx.
 OVS_INSTRUCTIONS = 450.0
@@ -62,6 +62,8 @@ class OvsDataplane(RingConsumer):
         self.tables = FlowTables(self.region_base,
                                  emc_entries=self._emc_entries)
 
+    batchable = True
+
     # The base class round-robins rings; remember which ring the current
     # packet came from so we can route it.
     def _next_packet(self) -> "PacketRecord | None":
@@ -95,8 +97,36 @@ class OvsDataplane(RingConsumer):
         self.forwarded += 1
         return OVS_INSTRUCTIONS, cycles
 
+    def plan_packet(self, plan: AccessPlan, port: CorePort,
+                    record: PacketRecord, ring_idx: int, pkt: int,
+                    now: float) -> "tuple[float, float]":
+        cycles = OVS_CYCLES + self.tables.plan_lookup(plan, record.flow_id,
+                                                      pkt)
+        dests = self.routes[ring_idx]
+        dest = dests[record.flow_id % len(dests)]
+        out = dest.post(record.size, record.flow_id, record.arrival)
+        if out is None:
+            self.output_drops += 1
+            return OVS_INSTRUCTIONS, cycles
+        plan.add(out.buf_addr, lines_per_packet(record.size), write=True,
+                 mlp=BUFFER_MLP, pkt=pkt)
+        self.forwarded += 1
+        return OVS_INSTRUCTIONS, cycles
+
+    def worst_cost_cycles(self, record: PacketRecord,
+                          miss_cycles: float) -> float:
+        # Worst case is the EMC-miss path: EMC read, megaflow probes,
+        # EMC install write, plus the forwarding copy all missing.
+        lookup = (2 + MEGAFLOW_PROBES) * miss_cycles + MEGAFLOW_CYCLES
+        copy = lines_per_packet(record.size) * miss_cycles / BUFFER_MLP
+        return OVS_CYCLES + lookup + copy
+
     def transmit(self, port: CorePort, record: PacketRecord) -> None:
         """Forwarding replaces Tx; nothing leaves via the switch here."""
+
+    def plan_transmit(self, plan: AccessPlan, record: PacketRecord,
+                      pkt: int) -> None:
+        """Forwarding replaces Tx (see :meth:`transmit`)."""
 
     # -- reporting ---------------------------------------------------------
     def cycles_per_packet(self) -> float:

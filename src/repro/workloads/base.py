@@ -73,6 +73,15 @@ class CorePort:
     def mask(self) -> int:
         return self._mask
 
+    @property
+    def dram_cycles(self) -> float:
+        """Current per-miss DRAM penalty (refreshed by ``begin_quantum``).
+
+        Batched callers use this to compute worst-case cycle bounds for
+        budget-guarded chunking.
+        """
+        return self._dram_cycles
+
     def access(self, addr: int, *, write: bool = False,
                mlp: float = 1.0) -> float:
         """One LLC-level access; returns the charged latency in cycles.
@@ -95,15 +104,146 @@ class CorePort:
             self._mem.add_write(line)
         return (LLC_HIT_CYCLES + self._dram_cycles) / mlp
 
+    def access_batch(self, addrs, *, write: bool = False,
+                     mlp: float = 1.0) -> "np.ndarray":
+        """Issue an address vector in order; returns per-access cycles.
+
+        Equivalent to calling :meth:`access` per address (same counter
+        and memory-traffic accounting); the total charged cycles is the
+        returned array's sum.  Works on either LLC backend — on the
+        array backend the whole vector is one vectorized batch.
+        """
+        addrs = np.ascontiguousarray(addrs, dtype=np.int64)
+        n = addrs.shape[0]
+        if n == 0:
+            return np.zeros(0)
+        out = self._llc.access_batch(addrs, self._mask, write=write,
+                                     owner=self.owner)
+        block = self.block
+        block.llc_references += n
+        misses = out.misses
+        block.llc_misses += misses
+        if misses:
+            self._mem.add_read(self._line * misses)
+        writebacks = out.writebacks
+        if writebacks:
+            self._mem.add_write(self._line * writebacks)
+        return np.where(out.hit, LLC_HIT_CYCLES / mlp,
+                        (LLC_HIT_CYCLES + self._dram_cycles) / mlp)
+
     def read_line_for_device(self, addr: int) -> None:
         """Device-side read (Tx DMA): LLC if present, else DRAM; no fill."""
         out = self._llc.device_read(addr)
         if not out.hit:
             self._mem.add_read(self._line)
 
+    def run_plan(self, plan: "AccessPlan", npackets: int) -> "np.ndarray":
+        """Execute a mixed core/device access plan as one LLC batch.
+
+        Core accesses pay hit/miss latencies scaled by their segment's
+        MLP and update this core's reference/miss counters; device
+        (Tx DMA) reads never fill and charge no core cycles, only DRAM
+        reads on miss.  Line order inside the plan — including the
+        core/device interleaving — is exactly the order a scalar caller
+        would have issued.  Returns per-packet charged cycles, indexed
+        by the plan's packet slots (length ``npackets``).
+        """
+        flat = plan.materialize()
+        if flat is None:
+            return np.zeros(npackets)
+        addrs, write, mlp_inv, device, pkt = flat
+        core = ~device
+        out = self._llc.access_batch(addrs, np.where(core, self._mask, 0),
+                                     write=write, owner=self.owner,
+                                     allocate=core)
+        hit = out.hit
+        block = self.block
+        block.llc_references += int(np.count_nonzero(core))
+        block.llc_misses += int(np.count_nonzero(core & ~hit))
+        miss_total = out.misses
+        if miss_total:
+            self._mem.add_read(self._line * miss_total)
+        writebacks = out.writebacks
+        if writebacks:
+            self._mem.add_write(self._line * writebacks)
+        lat = np.where(hit, LLC_HIT_CYCLES,
+                       LLC_HIT_CYCLES + self._dram_cycles) * mlp_inv
+        lat[device] = 0.0
+        return np.bincount(pkt, weights=lat, minlength=npackets)
+
     def charge(self, instructions: float, cycles: float) -> None:
         """Credit retired instructions and consumed cycles to the core."""
         self.block.credit(instructions=int(instructions), cycles=int(cycles))
+
+
+class AccessPlan:
+    """Builder for a batched memory-access sequence.
+
+    Callers append *segments* — runs of consecutive-stride lines sharing
+    one (write, mlp, device) profile and attributed to one packet slot —
+    in exactly the order a scalar implementation would have issued the
+    accesses.  :meth:`CorePort.run_plan` materializes the segments into
+    flat per-line arrays and executes them as a single LLC batch.
+    """
+
+    __slots__ = ("_base", "_count", "_stride", "_write", "_mlp_inv",
+                 "_device", "_pkt")
+
+    def __init__(self) -> None:
+        self._base: "list[int]" = []
+        self._count: "list[int]" = []
+        self._stride: "list[int]" = []
+        self._write: "list[bool]" = []
+        self._mlp_inv: "list[float]" = []
+        self._device: "list[bool]" = []
+        self._pkt: "list[int]" = []
+
+    def add(self, base: int, count: int, *, stride: int = 64,
+            write: bool = False, mlp: float = 1.0, pkt: int = 0) -> None:
+        """Append ``count`` core accesses starting at ``base``."""
+        if count <= 0:
+            return
+        self._base.append(base)
+        self._count.append(count)
+        self._stride.append(stride)
+        self._write.append(write)
+        self._mlp_inv.append(1.0 / mlp)
+        self._device.append(False)
+        self._pkt.append(pkt)
+
+    def add_device(self, base: int, count: int, *, stride: int = 64,
+                   pkt: int = 0) -> None:
+        """Append ``count`` device (Tx DMA) reads starting at ``base``."""
+        if count <= 0:
+            return
+        self._base.append(base)
+        self._count.append(count)
+        self._stride.append(stride)
+        self._write.append(False)
+        self._mlp_inv.append(0.0)
+        self._device.append(True)
+        self._pkt.append(pkt)
+
+    def materialize(self):
+        """Flatten segments to per-line arrays (None if the plan is empty).
+
+        Returns ``(addrs, write, mlp_inv, device, pkt)``, line order
+        preserved: segment-major, ascending stride within a segment.
+        """
+        if not self._count:
+            return None
+        count = np.asarray(self._count, dtype=np.int64)
+        total = int(count.sum())
+        starts = np.concatenate(([0], np.cumsum(count)[:-1]))
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, count)
+        addrs = np.repeat(np.asarray(self._base, dtype=np.int64), count) \
+            + within * np.repeat(np.asarray(self._stride, dtype=np.int64),
+                                 count)
+        write = np.repeat(np.asarray(self._write, dtype=bool), count)
+        mlp_inv = np.repeat(np.asarray(self._mlp_inv), count)
+        device = np.repeat(np.asarray(self._device, dtype=bool), count)
+        pkt = np.repeat(np.asarray(self._pkt, dtype=np.int64), count)
+        return addrs, write, mlp_inv, device, pkt
 
 
 @dataclass
@@ -200,8 +340,7 @@ class Workload(ABC):
                                            replace=False) * line
         else:
             addrs = base + np.arange(total_lines) * line
-        for addr in addrs.tolist():
-            port.access(int(addr), write=write)
+        port.access_batch(addrs, write=write)
 
     def begin_quantum(self, now: float) -> None:
         """Hook called once per quantum before any sub-step."""

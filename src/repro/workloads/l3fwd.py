@@ -11,7 +11,7 @@ shallow Rx rings overflow under small-packet traffic.
 from __future__ import annotations
 
 from ..pci.ring import DescRing, PacketRecord
-from .base import CorePort
+from .base import AccessPlan, CorePort
 from .netbase import RingConsumer
 
 #: Header parse + hash + route update per packet.
@@ -49,7 +49,19 @@ class L3Fwd(RingConsumer):
     def _entry_addr(self, flow_id: int) -> int:
         return self.region_base + (flow_id % self.n_flows) * FLOW_ENTRY_BYTES
 
+    batchable = True
+
     def packet_cost(self, port: CorePort, record: PacketRecord,
                     now: float) -> "tuple[float, float]":
         lookup = port.access(self._entry_addr(record.flow_id))
         return L3FWD_INSTRUCTIONS, L3FWD_CYCLES + lookup
+
+    def plan_packet(self, plan: AccessPlan, port: CorePort,
+                    record: PacketRecord, ring_idx: int, pkt: int,
+                    now: float) -> "tuple[float, float]":
+        plan.add(self._entry_addr(record.flow_id), 1, pkt=pkt)
+        return L3FWD_INSTRUCTIONS, L3FWD_CYCLES
+
+    def worst_cost_cycles(self, record: PacketRecord,
+                          miss_cycles: float) -> float:
+        return L3FWD_CYCLES + miss_cycles

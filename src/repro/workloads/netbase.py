@@ -14,9 +14,11 @@ so tail latencies reflect backlog, not just cache misses.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..net.packet import lines_per_packet
 from ..pci.ring import DescRing, PacketRecord
-from .base import CorePort, Workload
+from .base import AccessPlan, CorePort, LLC_HIT_CYCLES, Workload
 
 #: Cycles burned per empty poll of a ring (tight DPDK rx_burst loop).
 EMPTY_POLL_CYCLES = 40.0
@@ -34,6 +36,9 @@ MAX_EMPTY_POLLS = 4
 #: latency divided by this factor (a ~1.5 KB copy costs tens of cycles
 #: when LLC-resident, hundreds when leaked to DRAM).
 BUFFER_MLP = 8.0
+
+#: Maximum packets per batched drain chunk (bounds plan array sizes).
+CHUNK_PACKETS = 256
 
 
 class RingConsumer(Workload):
@@ -78,6 +83,12 @@ class RingConsumer(Workload):
             self._next_stall += self.stall_period
 
     # -- subclass interface ----------------------------------------------
+    #: Subclasses whose per-packet accesses are address-deterministic
+    #: (addresses never depend on a prior access's hit/miss outcome) opt
+    #: in to the chunked batched drain by setting this True and
+    #: implementing :meth:`plan_packet` / :meth:`worst_cost_cycles`.
+    batchable = False
+
     def packet_cost(self, port: CorePort, record: PacketRecord,
                     now: float) -> "tuple[float, float]":
         """App-specific work for one packet: ``(instructions, cycles)``.
@@ -88,6 +99,22 @@ class RingConsumer(Workload):
         """
         raise NotImplementedError
 
+    def plan_packet(self, plan: AccessPlan, port: CorePort,
+                    record: PacketRecord, ring_idx: int, pkt: int,
+                    now: float) -> "tuple[float, float]":
+        """Batched twin of :meth:`packet_cost`: append the packet's
+        accesses to ``plan`` (slot ``pkt``) instead of issuing them, and
+        return ``(instructions, fixed_cycles)`` — the memory-access
+        cycles are attributed later by the plan execution.
+        """
+        raise NotImplementedError
+
+    def worst_cost_cycles(self, record: PacketRecord,
+                          miss_cycles: float) -> float:
+        """Upper bound on :meth:`plan_packet` cycles if every access
+        missed (``miss_cycles`` = LLC hit + current DRAM penalty)."""
+        raise NotImplementedError
+
     def transmit(self, port: CorePort, record: PacketRecord) -> None:
         """Default Tx: NIC reads the buffer lines out of LLC/DRAM."""
         line = 64
@@ -95,6 +122,14 @@ class RingConsumer(Workload):
         for _ in range(lines_per_packet(record.size, line)):
             port.read_line_for_device(addr)
             addr += line
+        self.tx_bytes += record.size
+
+    def plan_transmit(self, plan: AccessPlan, record: PacketRecord,
+                      pkt: int) -> None:
+        """Batched twin of :meth:`transmit` (device reads charge no
+        core cycles, so only the plan entries are needed)."""
+        plan.add_device(record.buf_addr, lines_per_packet(record.size),
+                        pkt=pkt)
         self.tx_bytes += record.size
 
     # -- poll loop ---------------------------------------------------------
@@ -108,11 +143,39 @@ class RingConsumer(Workload):
                 return record
         return None
 
+    def _peek_packet(self) -> "tuple[PacketRecord, int] | None":
+        """Next packet :meth:`_next_packet` would return, without
+        consuming it; also returns its ring index."""
+        for offset in range(len(self.rings)):
+            idx = (self._ring_cursor + offset) % len(self.rings)
+            record = self.rings[idx].peek()
+            if record is not None:
+                return record, idx
+        return None
+
+    def _accept_packet(self, ring_idx: int) -> PacketRecord:
+        """Consume a just-peeked packet, advancing the round-robin
+        cursor exactly as :meth:`_next_packet` would."""
+        record = self.rings[ring_idx].consume()
+        self._ring_cursor = (ring_idx + 1) % len(self.rings)
+        return record
+
+    def _worst_packet_cycles(self, port: CorePort,
+                             record: PacketRecord) -> float:
+        """Upper bound on one packet's charged cycles (every access a
+        miss); used by the budget guard of the batched drain."""
+        miss = LLC_HIT_CYCLES + port.dram_cycles
+        return (lines_per_packet(record.size) * miss / BUFFER_MLP
+                + self.worst_cost_cycles(record, miss))
+
     def run_core(self, port: CorePort, budget_cycles: float,
                  now: float) -> None:
         if now < self._stalled_until:
             # Scheduled out: the ring keeps filling while we're away.
             port.charge(0, budget_cycles)
+            return
+        if self.batchable:
+            self._run_core_batched(port, budget_cycles, now)
             return
         used = 0.0
         instructions = 0.0
@@ -155,6 +218,76 @@ class RingConsumer(Workload):
             self.stats.record_op(
                 queue_cycles + service,
                 sample=self.stats.ops % self.latency_sample_stride == 0)
+        port.charge(instructions, used)
+
+    def _run_core_batched(self, port: CorePort, budget_cycles: float,
+                          now: float) -> None:
+        """Chunked drain: pop packets in scalar order, but execute their
+        accesses as large LLC batches.
+
+        Equivalence with the scalar loop: a packet is chunked only while
+        the *worst-case* cumulative service (every access a miss) still
+        fits the budget, so any packet batched here would also have been
+        polled by the scalar loop; once the bound no longer fits, the
+        drain degrades to one-packet chunks gated by the actual ``used <
+        budget`` check — exactly the scalar condition.  Ring pops,
+        empty-poll accounting, flow-table state updates and latency
+        sampling all happen in the same order as the scalar loop.
+        """
+        used = 0.0
+        instructions = 0.0
+        empty_polls = 0
+        stats = self.stats
+        freq_scale = self.core_freq_hz * self.time_scale
+        stride = self.latency_sample_stride
+        while used < budget_cycles:
+            # Gather a chunk under the worst-case budget guard.  The
+            # first packet is unconditional, like the scalar loop.
+            chunk: "list[tuple[PacketRecord, int]]" = []
+            bound = used
+            while len(chunk) < CHUNK_PACKETS:
+                head = self._peek_packet()
+                if head is None:
+                    break
+                record, ring_idx = head
+                worst = self._worst_packet_cycles(port, record)
+                if chunk and bound + worst >= budget_cycles:
+                    break
+                self._accept_packet(ring_idx)
+                chunk.append((record, ring_idx))
+                bound += worst
+            if not chunk:
+                empty_polls += 1
+                used += EMPTY_POLL_CYCLES
+                instructions += EMPTY_POLL_INSTR
+                if empty_polls >= MAX_EMPTY_POLLS:
+                    remaining = budget_cycles - used
+                    if remaining > 0:
+                        used = budget_cycles
+                        instructions += (remaining / EMPTY_POLL_CYCLES
+                                         * EMPTY_POLL_INSTR)
+                    break
+                continue
+            empty_polls = 0
+            plan = AccessPlan()
+            fixed = np.zeros(len(chunk))
+            for pkt, (record, ring_idx) in enumerate(chunk):
+                plan.add(record.buf_addr, lines_per_packet(record.size),
+                         mlp=BUFFER_MLP, pkt=pkt)
+                instr, fixed_cycles = self.plan_packet(
+                    plan, port, record, ring_idx, pkt, now)
+                instructions += instr
+                fixed[pkt] = fixed_cycles
+                self.plan_transmit(plan, record, pkt)
+            service = port.run_plan(plan, len(chunk)) + fixed
+            self.packets_processed += len(chunk)
+            for pkt, (record, _) in enumerate(chunk):
+                cycles = float(service[pkt])
+                used += cycles
+                stats.busy_cycles += cycles
+                queue_cycles = max(0.0, (now - record.arrival) * freq_scale)
+                stats.record_op(queue_cycles + cycles,
+                                sample=stats.ops % stride == 0)
         port.charge(instructions, used)
 
     # -- reporting ---------------------------------------------------------

@@ -18,7 +18,7 @@ harder than Redis does (Fig. 12 discussion).
 from __future__ import annotations
 
 from ..pci.ring import DescRing, PacketRecord
-from .base import CorePort
+from .base import AccessPlan, CorePort
 from .netbase import RingConsumer
 
 #: Firewall rules evaluated per packet (classifier walk).
@@ -47,19 +47,21 @@ class NfvChain(RingConsumer):
         self.n_flows = n_flows
         self.n_rules = n_rules
 
+    batchable = True
+
     def on_bind(self) -> None:
         rule_lines = -(-self.n_rules // RULES_PER_LINE)
         self._rules_base = self.region_base
         self._flows_base = self.region_base + rule_lines * 64
         self._napt_base = self._flows_base + self.n_flows * FLOW_ENTRY_BYTES
+        # Firewall: scan half the rule lines on average.
+        self._scan_lines = max(1, rule_lines // 2)
 
     def packet_cost(self, port: CorePort, record: PacketRecord,
                     now: float) -> "tuple[float, float]":
         cycles = NFV_CYCLES
-        # Firewall: scan half the rule lines on average.
-        rule_lines = max(1, -(-self.n_rules // RULES_PER_LINE) // 2)
         addr = self._rules_base
-        for _ in range(rule_lines):
+        for _ in range(self._scan_lines):
             cycles += port.access(addr)
             addr += 64
         flow = record.flow_id % self.n_flows
@@ -69,3 +71,17 @@ class NfvChain(RingConsumer):
         # NAPT: translation lookup.
         cycles += port.access(self._napt_base + flow * NAPT_ENTRY_BYTES)
         return NFV_INSTRUCTIONS, cycles
+
+    def plan_packet(self, plan: AccessPlan, port: CorePort,
+                    record: PacketRecord, ring_idx: int, pkt: int,
+                    now: float) -> "tuple[float, float]":
+        plan.add(self._rules_base, self._scan_lines, pkt=pkt)
+        flow = record.flow_id % self.n_flows
+        plan.add(self._flows_base + flow * FLOW_ENTRY_BYTES, 1, write=True,
+                 pkt=pkt)
+        plan.add(self._napt_base + flow * NAPT_ENTRY_BYTES, 1, pkt=pkt)
+        return NFV_INSTRUCTIONS, NFV_CYCLES
+
+    def worst_cost_cycles(self, record: PacketRecord,
+                          miss_cycles: float) -> float:
+        return NFV_CYCLES + (self._scan_lines + 2) * miss_cycles

@@ -9,7 +9,7 @@ small fixed descriptor-handling cost, then bounces the packet out.
 from __future__ import annotations
 
 from ..pci.ring import PacketRecord
-from .base import CorePort
+from .base import AccessPlan, CorePort
 from .netbase import RingConsumer
 
 #: Fixed per-packet descriptor/mbuf handling cost.
@@ -23,6 +23,17 @@ class TestPmd(RingConsumer):
     #: Not a pytest class despite the DPDK-given name.
     __test__ = False
 
+    batchable = True
+
     def packet_cost(self, port: CorePort, record: PacketRecord,
                     now: float) -> "tuple[float, float]":
         return TESTPMD_INSTRUCTIONS, TESTPMD_CYCLES
+
+    def plan_packet(self, plan: AccessPlan, port: CorePort,
+                    record: PacketRecord, ring_idx: int, pkt: int,
+                    now: float) -> "tuple[float, float]":
+        return TESTPMD_INSTRUCTIONS, TESTPMD_CYCLES
+
+    def worst_cost_cycles(self, record: PacketRecord,
+                          miss_cycles: float) -> float:
+        return TESTPMD_CYCLES

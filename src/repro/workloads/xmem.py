@@ -11,7 +11,9 @@ set; accesses that fall in the modelled L2 never reach the LLC.
 
 from __future__ import annotations
 
-from .base import CorePort, L2_HIT_CYCLES, Workload
+import numpy as np
+
+from .base import CorePort, L2_HIT_CYCLES, LLC_HIT_CYCLES, Workload
 from .streams import sequential_lines, uniform_lines
 
 #: Loop overhead per access operation.
@@ -51,6 +53,10 @@ class XMem(Workload):
         used = 0.0
         ops = 0
         p_l2 = self.l2_hit_prob(self.working_set_bytes)
+        stats = self.stats
+        # Budget guard for vectorized segments: the cost of one op if it
+        # went all the way to DRAM.
+        worst = XMEM_OVERHEAD_CYCLES + LLC_HIT_CYCLES + port.dram_cycles
         while used < budget_cycles:
             if self.pattern == "random_read":
                 addrs = uniform_lines(self.rng, self.region_base,
@@ -60,13 +66,33 @@ class XMem(Workload):
                     self.region_base, self.working_set_bytes, self._cursor,
                     _BATCH)
             l2_hits = self.rng.random(_BATCH) < p_l2
-            for addr, in_l2 in zip(addrs.tolist(), l2_hits.tolist()):
-                latency = L2_HIT_CYCLES if in_l2 else port.access(int(addr))
-                used += XMEM_OVERHEAD_CYCLES + latency
-                ops += 1
-                self.stats.record_op(latency)
-                if used >= budget_cycles:
-                    break
+            start = 0
+            while start < _BATCH and used < budget_cycles:
+                safe = int((budget_cycles - used) // worst)
+                if safe < 1:
+                    # Budget tail: one op at a time, so the final op
+                    # count honours the exact budget crossing.
+                    in_l2 = bool(l2_hits[start])
+                    latency = L2_HIT_CYCLES if in_l2 \
+                        else float(port.access_batch(addrs[start:start + 1])[0])
+                    used += XMEM_OVERHEAD_CYCLES + latency
+                    ops += 1
+                    stats.record_op(latency)
+                    start += 1
+                    continue
+                stop = min(_BATCH, start + safe)
+                seg_l2 = l2_hits[start:stop]
+                latencies = np.full(stop - start, L2_HIT_CYCLES)
+                llc = ~seg_l2
+                if llc.any():
+                    latencies[llc] = port.access_batch(addrs[start:stop][llc])
+                seg_sum = float(latencies.sum())
+                count = stop - start
+                used += count * XMEM_OVERHEAD_CYCLES + seg_sum
+                ops += count
+                stats.ops += count
+                stats.latency_sum_cycles += seg_sum
+                start = stop
         port.charge(ops * XMEM_INSTRUCTIONS_PER_OP, used)
 
     # -- reporting ---------------------------------------------------------

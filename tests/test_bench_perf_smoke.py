@@ -1,0 +1,78 @@
+"""Smoke test for the perf-benchmark harness.
+
+Runs every microbenchmark and the engine benchmark at tiny scale (a few
+thousand accesses, sub-second simulation) and validates the
+``BENCH_llc.json`` document against the ``repro-bench-llc/1`` schema.
+No timing thresholds are asserted — wall-clock on CI is noisy — only
+that the harness runs, the backends agree, and the schema holds.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_PERF = os.path.join(_REPO, "benchmarks", "perf")
+
+
+def _load(name):
+    if _PERF not in sys.path:
+        sys.path.insert(0, _PERF)
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join(_PERF, name + ".py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench_doc(tmp_path_factory):
+    runner = _load("run")
+    out = tmp_path_factory.mktemp("bench") / "BENCH_llc.json"
+    runner.main(["--scale", "tiny", "--out", str(out)])
+    with open(out) as handle:
+        return json.load(handle)
+
+
+class TestBenchSchema:
+    def test_schema_tag_and_scale(self, bench_doc):
+        assert bench_doc["schema"] == "repro-bench-llc/1"
+        assert bench_doc["scale"] == "tiny"
+
+    def test_micro_entries(self, bench_doc):
+        names = [entry["name"] for entry in bench_doc["micro"]]
+        assert names == ["resident_read", "thrash_read", "ddio_ring_write"]
+        for entry in bench_doc["micro"]:
+            assert entry["accesses"] > 0
+            assert 0 <= entry["hits"] <= entry["accesses"]
+            assert entry["scalar_s"] > 0 and entry["array_s"] > 0
+            assert entry["speedup"] == pytest.approx(
+                entry["scalar_s"] / entry["array_s"])
+
+    def test_engine_entry(self, bench_doc):
+        engine = bench_doc["engine"]
+        assert engine["scenario"] == "fig08_leaky_dma"
+        assert engine["metrics_match"] is True
+        assert engine["quanta"] > 0
+        assert bench_doc["speedup"] == engine["speedup"]
+
+    def test_validate_rejects_divergence(self, bench_doc):
+        runner = _load("run")
+        broken = json.loads(json.dumps(bench_doc))
+        broken["engine"]["metrics_match"] = False
+        with pytest.raises(AssertionError):
+            runner.validate(broken)
+
+    def test_committed_document_is_valid(self):
+        """The checked-in default-scale results must satisfy the schema."""
+        path = os.path.join(_PERF, "BENCH_llc.json")
+        if not os.path.exists(path):
+            pytest.skip("no committed BENCH_llc.json")
+        runner = _load("run")
+        with open(path) as handle:
+            doc = json.load(handle)
+        runner.validate(doc)
+        assert doc["scale"] == "default"
