@@ -1,0 +1,65 @@
+"""Tracing-overhead benchmark: the Fig. 8 leaky-DMA scenario with the
+tracer absent, disabled, and fully enabled (self-profiling on).
+
+Two numbers matter:
+
+* ``disabled_overhead`` — the cost of merely having the instrumentation
+  hooks compiled in (one ``current_tracer()`` load plus an ``enabled``
+  check per hook site).  The contract is "near zero";
+  ``tests/test_obs.py`` enforces < 5% on a small run.
+* ``enabled_overhead`` — the cost of full event emission into an
+  in-memory ring, reported together with the tracer's self-profiling
+  per-subsystem time shares (where does a traced run actually spend its
+  wall time).  Note the shares overlap: ``dma.burst`` time is a subset
+  of ``engine.traffic``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.experiments.common import leaky_dma_scenario
+from repro.obs import RingBufferSink, Tracer, tracing
+from repro.sim.config import TINY_PLATFORM, XEON_6140
+
+
+def _scenario(scale: str):
+    if scale == "tiny":
+        spec = dataclasses.replace(TINY_PLATFORM, llc_backend="array")
+        return spec, 512, 0.3
+    spec = dataclasses.replace(XEON_6140, llc_backend="array")
+    return spec, 1500, 2.0
+
+
+def _timed_run(scale: str, tracer: "Tracer | None") -> float:
+    spec, packet_size, duration = _scenario(scale)
+    scen = leaky_dma_scenario(packet_size=packet_size, spec=spec)
+    t0 = time.perf_counter()
+    if tracer is None:
+        scen.sim.run(duration)
+    else:
+        with tracing(tracer):
+            scen.sim.run(duration)
+    return time.perf_counter() - t0
+
+
+def run_obs(scale: str = "default") -> dict:
+    """Baseline vs. disabled-tracer vs. enabled-tracer timings."""
+    baseline_s = _timed_run(scale, None)
+    disabled_s = _timed_run(scale, Tracer(enabled=False))
+    enabled = Tracer(profiling=True)
+    ring = enabled.add_sink(RingBufferSink(capacity=None))
+    enabled_s = _timed_run(scale, enabled)
+    return {
+        "scenario": "fig08_leaky_dma",
+        "baseline_s": baseline_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "disabled_overhead": disabled_s / baseline_s - 1.0
+        if baseline_s else 0.0,
+        "enabled_overhead": enabled_s / baseline_s - 1.0
+        if baseline_s else 0.0,
+        "events": len(ring),
+        "profile_shares": enabled.profile_shares(),
+    }

@@ -27,6 +27,7 @@ for path in (_HERE, _SRC):
 
 from bench_engine import run_engine  # noqa: E402
 from bench_llc import run_micro      # noqa: E402
+from bench_obs import run_obs        # noqa: E402
 
 SCHEMA = "repro-bench-llc/1"
 DEFAULT_OUT = os.path.join(_HERE, "BENCH_llc.json")
@@ -35,6 +36,7 @@ DEFAULT_OUT = os.path.join(_HERE, "BENCH_llc.json")
 def run(scale: str = "default") -> dict:
     micro = run_micro(scale)
     engine = run_engine(scale)
+    obs = run_obs(scale)
     return {
         "schema": SCHEMA,
         "created_utc": datetime.datetime.now(datetime.timezone.utc)
@@ -42,6 +44,8 @@ def run(scale: str = "default") -> dict:
         "scale": scale,
         "micro": micro,
         "engine": engine,
+        # Tracing overhead (repro.obs): baseline vs. disabled vs. enabled.
+        "obs": obs,
         # Headline number: end-to-end scalar/array on fig. 8 leaky DMA.
         "speedup": engine["speedup"],
     }
@@ -64,6 +68,14 @@ def validate(doc: dict) -> None:
                 "array_s", "speedup", "metrics_match", "quanta"):
         assert key in engine, f"engine result missing {key}"
     assert engine["metrics_match"] is True, "backends diverged"
+    obs = doc.get("obs")
+    if obs is not None:  # absent in pre-obs documents (schema additive)
+        for key in ("scenario", "baseline_s", "disabled_s", "enabled_s",
+                    "disabled_overhead", "enabled_overhead", "events",
+                    "profile_shares"):
+            assert key in obs, f"obs result missing {key}"
+        assert obs["events"] > 0, "enabled tracer recorded no events"
+        assert isinstance(obs["profile_shares"], dict)
     assert isinstance(doc.get("speedup"), float)
 
 
@@ -89,6 +101,14 @@ def main(argv=None) -> int:
           f"  array {engine['array_s']:.3f}s"
           f"  speedup {engine['speedup']:.2f}x"
           f"  metrics_match={engine['metrics_match']}")
+    obs = doc["obs"]
+    print(f"obs    {obs['scenario']}: baseline {obs['baseline_s']:.3f}s"
+          f"  disabled {obs['disabled_overhead']:+.1%}"
+          f"  enabled {obs['enabled_overhead']:+.1%}"
+          f"  ({obs['events']} events)")
+    for key, share in sorted(obs["profile_shares"].items(),
+                             key=lambda kv: kv[1], reverse=True):
+        print(f"       profile {key:>20}: {share:.1%}")
     print(f"wrote {args.out}")
     return 0
 

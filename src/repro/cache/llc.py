@@ -220,6 +220,13 @@ class SlicedLLC:
         # Incremental occupancy accounting: owner id -> valid lines.
         self._occ: "dict[int, int]" = {}
         self._valid = 0
+        # Cumulative event counters (cheap ints, identical across
+        # backends); the engine samples per-quantum deltas for tracing.
+        self.stat_fills = 0
+        self.stat_evictions = 0
+        self.stat_writebacks = 0
+        self.stat_ddio_hits = 0
+        self.stat_ddio_misses = 0
 
     # ------------------------------------------------------------------
     # Core access paths
@@ -266,7 +273,12 @@ class SlicedLLC:
         Returns an outcome whose ``hit`` flag distinguishes the two DDIO
         counter events (hit = write update, miss = write allocate).
         """
-        return self.access(addr, ddio_mask, write=True, owner=DDIO_OWNER)
+        outcome = self.access(addr, ddio_mask, write=True, owner=DDIO_OWNER)
+        if outcome.hit:
+            self.stat_ddio_hits += 1
+        else:
+            self.stat_ddio_misses += 1
+        return outcome
 
     def device_read(self, addr: int) -> AccessOutcome:
         """Outbound device read: served from LLC if present, never fills."""
@@ -297,8 +309,12 @@ class SlicedLLC:
 
     def ddio_write_batch(self, addrs, ddio_mask: int) -> BatchOutcome:
         """Batched :meth:`ddio_write` over an address vector."""
-        return self.access_batch(addrs, ddio_mask, write=True,
-                                 owner=DDIO_OWNER)
+        out = self.access_batch(addrs, ddio_mask, write=True,
+                                owner=DDIO_OWNER)
+        hits = out.hits
+        self.stat_ddio_hits += hits
+        self.stat_ddio_misses += len(out) - hits
+        return out
 
     def device_read_batch(self, addrs) -> BatchOutcome:
         """Batched :meth:`device_read` over an address vector."""
@@ -423,12 +439,15 @@ class SlicedLLC:
             evicted = row_tags[victim] != EMPTY
             new_owner = int(owner[i])
             out.fill[i] = True
+            self.stat_fills += 1
             if evicted:
                 out.evicted[i] = True
+                self.stat_evictions += 1
                 victim_owner = int(owner_m[row, victim])
                 out.victim_owner[i] = victim_owner
                 if dirty_m[row, victim]:
                     out.writeback[i] = True
+                    self.stat_writebacks += 1
                 left = occ[victim_owner] - 1
                 if left:
                     occ[victim_owner] = left
@@ -491,8 +510,12 @@ class SlicedLLC:
         out.evicted[miss_sel] = evicted
         out.writeback[miss_sel] = writeback
         out.victim_owner[miss_sel[evicted]] = victim_owner[evicted]
+        n_evicted = int(np.count_nonzero(evicted))
+        self.stat_fills += len(miss_rows)
+        self.stat_evictions += n_evicted
+        self.stat_writebacks += int(np.count_nonzero(writeback))
         # Occupancy bookkeeping.
-        self._valid += len(miss_rows) - int(np.count_nonzero(evicted))
+        self._valid += len(miss_rows) - n_evicted
         self._occ_update(new_owner, victim_owner[evicted])
 
     def _occ_update(self, filled_owners, evicted_owners) -> None:
@@ -569,6 +592,11 @@ class SlicedLLC:
         else:
             self._valid += 1
         self._occ[owner] = self._occ.get(owner, 0) + 1
+        self.stat_fills += 1
+        if evicted:
+            self.stat_evictions += 1
+            if writeback:
+                self.stat_writebacks += 1
         return AccessOutcome(hit=False, fill=True, evicted=evicted,
                              writeback=writeback, victim_owner=victim_owner)
 
@@ -601,6 +629,19 @@ class SlicedLLC:
 
     def valid_lines(self) -> int:
         return self._valid
+
+    def stats(self) -> "dict[str, int]":
+        """Cumulative event counters (identical on both backends).
+
+        Counters survive :meth:`flush` — they describe the access
+        history, not the current contents.  Consumers wanting a rate
+        sample the deltas (see ``Simulation._trace_quantum``).
+        """
+        return {"fills": self.stat_fills,
+                "evictions": self.stat_evictions,
+                "writebacks": self.stat_writebacks,
+                "ddio_hits": self.stat_ddio_hits,
+                "ddio_misses": self.stat_ddio_misses}
 
     def flush(self) -> None:
         """Invalidate every line (no writeback accounting)."""

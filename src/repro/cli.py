@@ -1,15 +1,22 @@
 """Command-line interface: ``python -m repro`` or the ``repro`` script.
 
-Three subcommands:
+Four subcommands:
 
 * ``repro figures`` — list the reproducible figures.
 * ``repro figure <id> [--fast]`` — regenerate one figure's table
   (``--fast`` shrinks sweeps/durations for a quick look).
+* ``repro trace <id> [--fast] [--out FILE] [--format perfetto|jsonl]``
+  — run a figure with the tracing subsystem enabled (see
+  ``docs/observability.md``) and export the event stream; the default
+  ``perfetto`` format loads directly into https://ui.perfetto.dev.
+  Also prints the self-profiling per-subsystem time shares.
 * ``repro daemon --tenants FILE [--backend sim|linux]`` — run the IAT
   daemon against a tenant affiliation file.  The ``linux`` backend
   drives real MSRs (root + the msr module required — untested here, see
   DESIGN.md); the default ``sim`` backend runs a self-contained demo
   scenario so the daemon's decisions can be observed anywhere.
+  ``--trace-out FILE`` captures a Perfetto trace of the run;
+  ``--log-level`` controls stdlib logging verbosity.
 """
 
 from __future__ import annotations
@@ -106,7 +113,72 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs import (JsonlSink, PerfettoSink, RingBufferSink, Tracer,
+                      tracing)
+
+    entry = FIGURES.get(args.id)
+    if entry is None:
+        print(f"unknown figure {args.id!r}; try 'repro figures'",
+              file=sys.stderr)
+        return 2
+    _, full, fast = entry
+    suffix = "jsonl" if args.format == "jsonl" else "json"
+    out = args.out or f"trace_{args.id}.{suffix}"
+    tracer = Tracer(profiling=True)
+    ring = tracer.add_sink(RingBufferSink(capacity=None))
+    tracer.add_sink(JsonlSink(out) if args.format == "jsonl"
+                    else PerfettoSink(out))
+    with tracing(tracer):
+        table = (fast if args.fast else full)()
+    tracer.close()
+    print(table)
+    print(f"trace: {len(ring)} events -> {out}")
+    shares = tracer.profile_shares()
+    if shares:
+        top = sorted(shares.items(), key=lambda kv: kv[1], reverse=True)
+        print("profile: " + ", ".join(f"{key} {share:.1%}"
+                                      for key, share in top[:6]))
+    return 0
+
+
+def _daemon_summary(daemon) -> str:
+    """One-line exit summary of a daemon run."""
+    history = daemon.history
+    changes = sum(1 for a, b in zip(history, history[1:])
+                  if a.state is not b.state)
+    masks = {}
+    if daemon.layout is not None:
+        masks = {group: f"0x{mask:x}" for group, mask
+                 in sorted(daemon.layout.group_masks.items())}
+    return (f"daemon: {len(history)} iterations, {changes} state changes, "
+            f"final state {daemon.state.value}, "
+            f"ddio_ways={daemon.allocator.ddio_ways}, masks={masks}")
+
+
 def _cmd_daemon(args) -> int:
+    import logging
+
+    logging.basicConfig(level=getattr(logging, args.log_level.upper()),
+                        format="%(asctime)s %(name)s %(levelname)s "
+                               "%(message)s")
+    tracer = None
+    if args.trace_out:
+        from .obs import PerfettoSink, Tracer, install_tracer
+        tracer = Tracer()
+        tracer.add_sink(PerfettoSink(args.trace_out))
+        install_tracer(tracer)
+    try:
+        return _run_daemon(args)
+    finally:
+        if tracer is not None:
+            from .obs import install_tracer
+            install_tracer(None)
+            tracer.close()
+            print(f"trace -> {args.trace_out}")
+
+
+def _run_daemon(args) -> int:
     from .core import ControlPlane, IATDaemon, IATParams
     from .tenants.registry import TenantRegistry
 
@@ -137,6 +209,7 @@ def _cmd_daemon(args) -> int:
                       f"ddio={entry.ddio_ways} {entry.action}")
         except KeyboardInterrupt:
             pass
+        print(_daemon_summary(daemon))
         return 0
 
     # Simulated backend: demo scenario driven by the tenants file's I/O
@@ -165,6 +238,7 @@ def _cmd_daemon(args) -> int:
         print(f"t={entry.time:6.1f}s {entry.state.value:12s} "
               f"ddio={entry.ddio_ways} ways={entry.group_ways} "
               f"{entry.action}")
+    print(_daemon_summary(daemon))
     return 0
 
 
@@ -183,6 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="reduced sweep for a quick look")
     figure.set_defaults(func=_cmd_figure)
 
+    trace = sub.add_parser("trace",
+                           help="run a figure with tracing enabled")
+    trace.add_argument("id", help="figure id (see 'repro figures')")
+    trace.add_argument("--fast", action="store_true",
+                       help="reduced sweep for a quick look")
+    trace.add_argument("--out", default=None,
+                       help="output path (default trace_<id>.<ext>)")
+    trace.add_argument("--format", choices=("perfetto", "jsonl"),
+                       default="perfetto",
+                       help="perfetto trace_event JSON or raw JSONL")
+    trace.set_defaults(func=_cmd_trace)
+
     daemon = sub.add_parser("daemon", help="run the IAT daemon")
     daemon.add_argument("--tenants", required=True,
                         help="tenant affiliation file (see Sec. V format)")
@@ -197,6 +283,11 @@ def build_parser() -> argparse.ArgumentParser:
     daemon.add_argument("--iterations", type=int, default=0,
                         help="stop after N intervals (linux backend; "
                              "0 = run until ^C)")
+    daemon.add_argument("--log-level", default="warning",
+                        choices=("debug", "info", "warning", "error"),
+                        help="stdlib logging verbosity")
+    daemon.add_argument("--trace-out", default=None,
+                        help="write a Perfetto trace of the run here")
     daemon.set_defaults(func=_cmd_daemon)
     return parser
 

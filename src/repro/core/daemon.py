@@ -26,8 +26,9 @@ Python loop.  Stable iterations (poll only) and unstable iterations
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
+from ..obs.tracer import current_tracer
 from .allocator import Layout, WayAllocator
 from .control import ControlPlane
 from .fsm import INITIAL_STATE, State, next_state
@@ -148,21 +149,33 @@ class IATDaemon:
                          wall_start=wall_start)
             return
 
+        tracer = current_tracer()
         if report.kind is ChangeKind.SHUFFLE_FIRST and self.shuffle:
             # Special case 3: reshuffle before touching any way counts.
             self._order = placement_order(control.tenants, self._last_refs)
+            if tracer.enabled:
+                tracer.instant("shuffle", "order", reason="shuffle-first",
+                               order=list(self._order))
             self._apply_layout()
             self._finish(now, report.kind, "shuffle", stable=False,
                          wall_start=wall_start)
             return
 
-        self.state = next_state(self.state, report.signals)
+        old_state = self.state
+        self.state = next_state(old_state, report.signals)
+        if tracer.enabled:
+            tracer.instant("fsm", "transition", src=old_state.value,
+                           dst=self.state.value,
+                           signals=asdict(report.signals))
         action = self._apply_state_action(report)
         grown = self._continue_growth_sessions(report)
         if grown:
             action = f"{action}; {grown}"
         if self.shuffle:
             self._order = placement_order(control.tenants, self._last_refs)
+            if tracer.enabled:
+                tracer.instant("shuffle", "order", reason="post-transition",
+                               order=list(self._order))
         self._apply_layout()
         self._finish(now, ChangeKind.FSM, action, stable=False,
                      wall_start=wall_start)
@@ -339,15 +352,23 @@ class IATDaemon:
             order = tenants.group_names()
         layout = self.allocator.layout(order)
         pqos = self.control.pqos
+        tracer = current_tracer()
         for tenant in tenants:
             mask = layout.mask_of(tenant)
             old = (self.layout.group_masks.get(tenant.group)
                    if self.layout else None)
             if old != mask:
                 pqos.alloc_set(tenant.cos_id, mask)
+                if tracer.enabled:
+                    tracer.instant("mask", "tenant", tenant=tenant.name,
+                                   group=tenant.group, cos=tenant.cos_id,
+                                   mask=mask)
         if self.manage_ddio and (
                 self.layout is None or self.layout.ddio_mask != layout.ddio_mask):
             pqos.ddio_set_mask(layout.ddio_mask)
+            if tracer.enabled:
+                tracer.instant("mask", "ddio", mask=layout.ddio_mask,
+                               ways=self.allocator.ddio_ways)
         self.layout = layout
 
     def _finish(self, now: float, kind: ChangeKind, action: str, *,
@@ -357,14 +378,28 @@ class IATDaemon:
         self.timings.append(IterationTiming(stable=stable,
                                             modelled_us=modelled,
                                             wall_us=wall))
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.complete("daemon", "interval", wall / 1e6,
+                            stable=stable, kind=kind.value,
+                            modelled_us=modelled)
         self._log(now, kind, action)
 
     def _log(self, now: float, kind: ChangeKind, action: str) -> None:
-        self.history.append(IterationLog(
+        entry = IterationLog(
             time=now, state=self.state, kind=kind,
             ddio_ways=self.allocator.ddio_ways,
             group_ways=dict(self.allocator.group_ways),
-            action=action))
+            action=action)
+        self.history.append(entry)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.set_sim_time(now)
+            tracer.instant("daemon", "iteration", time=now,
+                           state=entry.state.value, kind=kind.value,
+                           ddio_ways=entry.ddio_ways,
+                           group_ways=dict(entry.group_ways),
+                           action=action)
 
     # ------------------------------------------------------------------
     # Reporting (Fig. 15)

@@ -1,0 +1,34 @@
+"""repro.obs: the unified tracing & telemetry subsystem.
+
+One tracer, threaded through every layer of the reproduction:
+
+* the simulation engine emits a span per quantum plus counter tracks
+  (DDIO events, memory bytes, per-tenant IPC/LLC, sampled LLC
+  fill/eviction/writeback deltas) and a ``metrics/quantum`` record;
+* the IAT daemon emits typed instants for FSM transitions, way-mask
+  writes, shuffle decisions, and a ``daemon/iteration`` record, plus a
+  span per control interval;
+* the NIC emits a span per DMA burst.
+
+Sinks: an in-memory ring buffer, a JSONL stream, and Chrome/Perfetto
+``trace_event`` JSON (open it at https://ui.perfetto.dev).  The legacy
+recorders (``MetricsRecorder``, ``IATDaemon.history``) are exactly
+reconstructible from the stream via :mod:`repro.obs.views`.
+
+See ``docs/observability.md`` for the event taxonomy and a worked
+example; ``repro trace <figure>`` traces any figure harness from the
+command line.
+"""
+
+from . import views
+from .sinks import (JsonlSink, PerfettoSink, RingBufferSink, event_from_dict,
+                    event_to_dict, perfetto_document)
+from .tracer import (NULL_TRACER, NullTracer, TraceEvent, Tracer,
+                     current_tracer, install_tracer, tracing)
+
+__all__ = [
+    "JsonlSink", "NULL_TRACER", "NullTracer", "PerfettoSink",
+    "RingBufferSink", "TraceEvent", "Tracer", "current_tracer",
+    "event_from_dict", "event_to_dict", "install_tracer",
+    "perfetto_document", "tracing", "views",
+]

@@ -1,0 +1,171 @@
+"""Trace sinks: in-memory ring buffer, JSONL stream, Perfetto export.
+
+A sink receives every :class:`~repro.obs.tracer.TraceEvent` the tracer
+emits via ``emit(event)`` and is flushed/closed by ``close()``.  Three
+are provided:
+
+* :class:`RingBufferSink` — keeps the last N events (or all of them) in
+  memory; the substrate for the reconstruction views in :mod:`.views`.
+* :class:`JsonlSink` — one JSON object per line, streamed as events
+  arrive; suitable for tailing a long run.
+* :class:`PerfettoSink` — Chrome ``trace_event`` JSON (the legacy JSON
+  flavour Perfetto ingests), so a whole run can be dropped into
+  https://ui.perfetto.dev.  Simulated-time events (instants, counters)
+  land on a ``sim-time`` process whose microseconds are simulated
+  seconds x 1e6; wall-clock spans land on a separate ``wall-time``
+  process, keeping the two time domains visually distinct.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from numbers import Number
+
+from .tracer import TraceEvent
+
+#: Synthetic pids separating the two time domains in the Perfetto UI.
+SIM_PID = 1
+WALL_PID = 2
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """Plain-dict form of an event (the JSONL line payload)."""
+    return {
+        "seq": event.seq,
+        "ts": event.ts,
+        "wall": event.wall,
+        "ph": event.phase,
+        "cat": event.category,
+        "name": event.name,
+        "dur": event.dur,
+        "args": event.args,
+    }
+
+
+def event_from_dict(raw: dict) -> TraceEvent:
+    """Inverse of :func:`event_to_dict` (reads a JSONL line back)."""
+    return TraceEvent(seq=raw["seq"], ts=raw["ts"], wall=raw["wall"],
+                      phase=raw["ph"], category=raw["cat"],
+                      name=raw["name"], dur=raw.get("dur", 0.0),
+                      args=raw.get("args", {}))
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events (None = unbounded)."""
+
+    def __init__(self, capacity: "int | None" = 65536) -> None:
+        self.capacity = capacity
+        self._events: "collections.deque[TraceEvent]" = \
+            collections.deque(maxlen=capacity)
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def events(self) -> "list[TraceEvent]":
+        """Snapshot of the buffered events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlSink:
+    """Streams one JSON object per event to a path or file object."""
+
+    def __init__(self, target) -> None:
+        if hasattr(target, "write"):
+            self._handle = target
+            self._owns = False
+        else:
+            self._handle = open(target, "w")
+            self._owns = True
+
+    def emit(self, event: TraceEvent) -> None:
+        self._handle.write(json.dumps(event_to_dict(event)))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns:
+            self._handle.close()
+
+
+def perfetto_events(events) -> "list[dict]":
+    """Convert events to Chrome ``trace_event`` dicts (plus metadata).
+
+    One thread per category within each time-domain process; thread ids
+    are assigned in first-seen order so identical runs produce identical
+    documents.
+    """
+    tids: "dict[tuple[int, str], int]" = {}
+    out: "list[dict]" = []
+    for pid, label in ((SIM_PID, "sim-time"), (WALL_PID, "wall-time")):
+        out.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+                    "name": "process_name", "args": {"name": label}})
+
+    def tid_of(pid: int, category: str) -> int:
+        key = (pid, category)
+        tid = tids.get(key)
+        if tid is None:
+            tid = len([k for k in tids if k[0] == pid]) + 1
+            tids[key] = tid
+            out.append({"ph": "M", "pid": pid, "tid": tid, "ts": 0,
+                        "name": "thread_name", "args": {"name": category}})
+        return tid
+
+    for event in events:
+        if event.phase == "X":
+            out.append({"ph": "X", "pid": WALL_PID,
+                        "tid": tid_of(WALL_PID, event.category),
+                        "ts": event.wall * 1e6, "dur": event.dur * 1e6,
+                        "cat": event.category, "name": event.name,
+                        "args": dict(event.args)})
+        elif event.phase == "C":
+            # Counter tracks accept numeric series only.
+            values = {k: v for k, v in event.args.items()
+                      if isinstance(v, Number) and not isinstance(v, bool)}
+            out.append({"ph": "C", "pid": SIM_PID,
+                        "tid": tid_of(SIM_PID, event.category),
+                        "ts": event.ts * 1e6,
+                        "name": f"{event.category}.{event.name}",
+                        "args": values})
+        else:
+            out.append({"ph": "i", "pid": SIM_PID,
+                        "tid": tid_of(SIM_PID, event.category),
+                        "ts": event.ts * 1e6, "s": "t",
+                        "cat": event.category, "name": event.name,
+                        "args": dict(event.args)})
+    return out
+
+
+def perfetto_document(events) -> dict:
+    """The full JSON object Perfetto/chrome://tracing loads."""
+    return {
+        "traceEvents": perfetto_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs",
+                      "sim_time_unit": "1us == 1e-6 simulated seconds"},
+    }
+
+
+class PerfettoSink:
+    """Buffers events and writes one Perfetto-loadable JSON on close."""
+
+    def __init__(self, target) -> None:
+        self._target = target
+        self._events: "list[TraceEvent]" = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        doc = perfetto_document(self._events)
+        if hasattr(self._target, "write"):
+            json.dump(doc, self._target)
+        else:
+            with open(self._target, "w") as handle:
+                json.dump(doc, handle)

@@ -1,0 +1,234 @@
+"""The tracer: structured events, spans and counters with two clocks.
+
+Every event carries a *simulated-time* stamp (``ts``, seconds — the
+clock the paper's timelines are plotted against) and a *wall-clock*
+stamp (``wall``, seconds since the tracer was created — what the
+overhead profile of Fig. 15 cares about).  Three event phases, mirroring
+the Chrome ``trace_event`` format so export is a direct mapping:
+
+* ``"i"`` — instant: a typed point event (an FSM transition, a way-mask
+  write, a shuffle decision).
+* ``"X"`` — complete span: something with a wall-clock duration (one
+  engine quantum, one DMA burst, one daemon interval).
+* ``"C"`` — counter: a named set of numeric series sampled at a point
+  in simulated time (DDIO hits/misses, per-tenant IPC, LLC fill rates).
+
+Instrumented subsystems do not hold a tracer; they fetch the process-
+wide current tracer (:func:`current_tracer`) and guard every hook with
+``if tracer.enabled``.  The default is the shared :data:`NULL_TRACER`,
+whose ``enabled`` is False and whose hooks are no-ops, so an untraced
+run pays one attribute load per hook site — the near-zero-overhead-
+when-disabled contract that ``tests/test_obs.py`` enforces.
+
+Self-profiling: with ``profiling=True`` the tracer also accumulates
+wall seconds per subsystem key (``profile``), which
+``benchmarks/perf/bench_obs.py`` turns into per-subsystem time shares.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record.
+
+    ``seq``      monotonically increasing per-tracer sequence number.
+    ``ts``       simulated time, seconds.
+    ``wall``     wall-clock seconds since the tracer's epoch (for spans:
+                 the span start).
+    ``phase``    ``"i"`` instant, ``"X"`` complete span, ``"C"`` counter.
+    ``category`` subsystem key (``fsm``, ``mask``, ``shuffle``,
+                 ``daemon``, ``sim``, ``dma``, ``llc``, ``ddio``,
+                 ``mem``, ``tenant``, ``metrics``).
+    ``name``     event name within the category.
+    ``dur``      wall-clock duration, seconds (spans only).
+    ``args``     JSON-serialisable payload.
+    """
+
+    seq: int
+    ts: float
+    wall: float
+    phase: str
+    category: str
+    name: str
+    dur: float = 0.0
+    args: dict = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        """Deterministic identity: every field except the wall-clock
+        stamps (which legitimately differ between identical runs)."""
+        return (self.seq, self.ts, self.phase, self.category, self.name,
+                tuple(sorted(self.args.items())))
+
+
+class Tracer:
+    """Routes trace events to a set of sinks (see :mod:`.sinks`).
+
+    ``enabled=False`` builds a disabled tracer: hooks return without
+    touching the sinks.  ``profiling=True`` additionally accumulates
+    per-subsystem wall time from spans and :meth:`profile_add` calls.
+    """
+
+    def __init__(self, *, enabled: bool = True, profiling: bool = False,
+                 clock=time.perf_counter) -> None:
+        self.enabled = enabled
+        self.profiling = profiling
+        self.clock = clock
+        self.sinks: list = []
+        self._epoch = clock()
+        self._seq = 0
+        self._sim_now = 0.0
+        #: Accumulated wall seconds per subsystem key (profiling mode).
+        self.profile: "dict[str, float]" = {}
+
+    # -- wiring ------------------------------------------------------------
+    def add_sink(self, sink):
+        """Attach a sink; returns it for chaining."""
+        self.sinks.append(sink)
+        return sink
+
+    def close(self) -> None:
+        """Flush and close every sink."""
+        for sink in self.sinks:
+            sink.close()
+
+    # -- clocks ------------------------------------------------------------
+    def set_sim_time(self, now: float) -> None:
+        """Advance the simulated-time stamp used for subsequent events."""
+        self._sim_now = now
+
+    @property
+    def sim_now(self) -> float:
+        return self._sim_now
+
+    def _wall(self) -> float:
+        return self.clock() - self._epoch
+
+    # -- event emission ----------------------------------------------------
+    def _emit(self, phase: str, category: str, name: str, *,
+              dur: float = 0.0, args: "dict | None" = None,
+              wall: "float | None" = None) -> None:
+        event = TraceEvent(seq=self._seq, ts=self._sim_now,
+                           wall=self._wall() if wall is None else wall,
+                           phase=phase, category=category, name=name,
+                           dur=dur, args=args or {})
+        self._seq += 1
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def instant(self, category: str, name: str, **args) -> None:
+        """Record a typed point event at the current simulated time."""
+        if self.enabled:
+            self._emit("i", category, name, args=args)
+
+    def counter(self, category: str, name: str, **values) -> None:
+        """Record a set of numeric counter samples."""
+        if self.enabled:
+            self._emit("C", category, name, args=values)
+
+    def complete(self, category: str, name: str, dur: float,
+                 **args) -> None:
+        """Record a finished span of ``dur`` wall seconds ending now."""
+        if not self.enabled:
+            return
+        self._emit("X", category, name, dur=dur, args=args,
+                   wall=max(0.0, self._wall() - dur))
+        if self.profiling:
+            key = f"{category}.{name}"
+            self.profile[key] = self.profile.get(key, 0.0) + dur
+
+    @contextmanager
+    def span(self, category: str, name: str, **args):
+        """Context manager measuring a wall-clock span."""
+        start = self.clock()
+        try:
+            yield self
+        finally:
+            self.complete(category, name, self.clock() - start, **args)
+
+    # -- self-profiling ----------------------------------------------------
+    def profile_add(self, key: str, seconds: float) -> None:
+        """Accumulate wall time against a subsystem key (no event)."""
+        if self.profiling:
+            self.profile[key] = self.profile.get(key, 0.0) + seconds
+
+    def profile_shares(self) -> "dict[str, float]":
+        """Per-subsystem fraction of the accumulated profiled time."""
+        total = sum(self.profile.values())
+        if total <= 0.0:
+            return {}
+        return {key: value / total
+                for key, value in sorted(self.profile.items())}
+
+
+class _NullSpan:
+    """Reusable no-op context manager for :class:`NullTracer` spans."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every hook is a no-op.
+
+    Installed by default so instrumented code can always call
+    ``current_tracer()`` without a None check.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def instant(self, category, name, **args) -> None:  # pragma: no cover
+        pass
+
+    def counter(self, category, name, **values) -> None:  # pragma: no cover
+        pass
+
+    def complete(self, category, name, dur, **args) -> None:
+        pass
+
+    def span(self, category, name, **args):
+        return _NULL_SPAN
+
+    def profile_add(self, key, seconds) -> None:  # pragma: no cover
+        pass
+
+
+#: Shared disabled tracer (the default current tracer).
+NULL_TRACER = NullTracer()
+
+_current: Tracer = NULL_TRACER
+
+
+def current_tracer() -> Tracer:
+    """The process-wide tracer instrumented subsystems report to."""
+    return _current
+
+
+def install_tracer(tracer: "Tracer | None") -> Tracer:
+    """Install ``tracer`` (None restores the null tracer); returns the
+    previously installed tracer so callers can restore it."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer: "Tracer | None"):
+    """Scope ``tracer`` as the current tracer for a ``with`` block."""
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)

@@ -1,0 +1,83 @@
+"""Views over the event stream: the old ad-hoc recorders, rebuilt.
+
+Before the tracing subsystem existed the reproduction had two
+disconnected recorders — ``sim.metrics.MetricsRecorder`` (the
+"independent pqos process" sampling every quantum) and
+``IATDaemon.history`` (the daemon's own ``IterationLog``).  Both are now
+*views* over the trace: every quantum the engine emits a
+``metrics/quantum`` instant carrying the full record, and every daemon
+iteration emits a ``daemon/iteration`` instant carrying the full log
+entry, so either recorder can be reconstructed exactly from the event
+stream alone.  ``examples/fig11_trace_timeline.py`` demonstrates the
+round trip on the Fig. 11 scenario.
+
+Imports of the recorder types happen inside the functions: the
+instrumented subsystems import :mod:`repro.obs.tracer` at module load,
+so a top-level import of ``repro.core`` here would be circular.
+"""
+
+from __future__ import annotations
+
+
+def _events(source) -> list:
+    """Accept a RingBufferSink, a Tracer-owned sink, or a plain list."""
+    if hasattr(source, "events"):
+        return source.events()
+    return list(source)
+
+
+def select(source, category: str, name: "str | None" = None) -> list:
+    """Events of one category (and optionally one name), in order."""
+    return [e for e in _events(source)
+            if e.category == category and (name is None or e.name == name)]
+
+
+def metrics_from_events(source):
+    """Rebuild a :class:`~repro.sim.metrics.MetricsRecorder` from the
+    ``metrics/quantum`` events — identical to the engine's recorder."""
+    from ..sim.metrics import MetricsRecorder, record_from_dict
+    recorder = MetricsRecorder()
+    for event in select(source, "metrics", "quantum"):
+        recorder.append(record_from_dict(event.args))
+    return recorder
+
+
+def history_from_events(source) -> list:
+    """Rebuild the daemon's ``IterationLog`` list from the
+    ``daemon/iteration`` events — identical to ``IATDaemon.history``."""
+    from ..core.daemon import IterationLog
+    from ..core.fsm import State
+    from ..core.monitor import ChangeKind
+    history = []
+    for event in select(source, "daemon", "iteration"):
+        args = event.args
+        history.append(IterationLog(
+            time=args["time"], state=State(args["state"]),
+            kind=ChangeKind(args["kind"]), ddio_ways=args["ddio_ways"],
+            group_ways=dict(args["group_ways"]), action=args["action"]))
+    return history
+
+
+def fsm_timeline(source) -> "list[tuple[float, object]]":
+    """(time, State) after every daemon iteration."""
+    return [(entry.time, entry.state)
+            for entry in history_from_events(source)]
+
+
+def times(source) -> "list[float]":
+    """Quantum timestamps of the recorded run."""
+    return [e.args["time"] for e in select(source, "metrics", "quantum")]
+
+
+def mask_timeline(source) -> "dict[str, list[int]]":
+    """Per-tenant CAT mask series, one entry per quantum."""
+    masks: "dict[str, list[int]]" = {}
+    for event in select(source, "metrics", "quantum"):
+        for name, snap in event.args["tenants"].items():
+            masks.setdefault(name, []).append(snap["mask"])
+    return masks
+
+
+def ddio_mask_timeline(source) -> "list[int]":
+    """DDIO way-mask series, one entry per quantum."""
+    return [e.args["ddio_mask"] for e in select(source, "metrics", "quantum")]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cache.llc import DDIO_OWNER
+from ..obs.tracer import current_tracer
 from .ring import DEFAULT_RING_ENTRIES, MBUF_STRIDE, DescRing
 
 #: Ethernet per-packet overhead used for line-rate math (preamble + IFG),
@@ -145,6 +146,8 @@ class Nic:
         per burst instead of once per line.  Returns the number of
         packets enqueued.
         """
+        tracer = current_tracer()
+        t0 = tracer.clock() if tracer.enabled else 0.0
         # Hoisted Sec. VII knobs: resolved once for the whole burst.
         if vf.ddio_mask_override is not None:
             ddio_mask = vf.ddio_mask_override
@@ -172,10 +175,15 @@ class Nic:
         if not header_only:
             out = llc.ddio_write_batch(addrs, ddio_mask)
             uncore.record_ddio_batch(addrs, out.hit)
-            vf.ddio_hits += out.hits
+            hits = out.hits
+            vf.ddio_hits += hits
             vf.ddio_misses += out.misses
             if out.writebacks:
                 mem.add_write(line * out.writebacks)
+            if tracer.enabled:
+                tracer.complete("dma", "burst", tracer.clock() - t0,
+                                vf=vf.name, packets=accepted, lines=total,
+                                ddio_hits=hits, ddio_misses=total - hits)
             return accepted
         # Header-only DDIO: the first line of each packet goes through
         # the DDIO path; payload lines bypass the cache (update in place
@@ -195,4 +203,9 @@ class Nic:
         payload_misses = int(np.count_nonzero(~out.hit[~header]))
         if payload_misses:
             mem.add_write(line * payload_misses)
+        if tracer.enabled:
+            tracer.complete("dma", "burst", tracer.clock() - t0,
+                            vf=vf.name, packets=accepted, lines=total,
+                            ddio_hits=ddio_hits,
+                            ddio_misses=int(header.sum()) - ddio_hits)
         return accepted

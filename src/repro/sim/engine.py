@@ -16,12 +16,13 @@ flows appear...", Fig. 7).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Protocol
 
 import numpy as np
 
 from ..net.traffic import PhasedTraffic, TrafficGen, TrafficSpec
+from ..obs.tracer import current_tracer
 from ..pci.nic import Nic, VirtualFunction
 from ..tenants.tenant import Tenant, TenantSet
 from ..workloads.base import CorePort, Workload
@@ -83,6 +84,7 @@ class Simulation:
         self._counter_last: "dict[str, tuple[int, int, int, int]]" = {}
         self._ddio_last = (0, 0)
         self._vf_last: "dict[str, tuple[int, int]]" = {}
+        self._llc_stats_last: "dict[str, int]" = {}
 
     # ------------------------------------------------------------------
     # Scenario construction
@@ -147,6 +149,10 @@ class Simulation:
         return self.metrics
 
     def _run_quantum(self, dt: float) -> None:
+        tracer = current_tracer()
+        if tracer.enabled:
+            self._run_quantum_traced(tracer, dt)
+            return
         spec = self.platform.spec
         self._fire_events()
         self.platform.mem.begin_window(dt)
@@ -163,6 +169,44 @@ class Simulation:
         self.now += dt
         self._record_quantum(window_bytes)
         self._run_controllers()
+
+    def _run_quantum_traced(self, tracer, dt: float) -> None:
+        """Instrumented twin of :meth:`_run_quantum`: one span per
+        quantum plus per-subsystem wall-time shares (self-profiling).
+        Simulation outcomes are identical to the fast path — only
+        clock reads and event emission are added."""
+        spec = self.platform.spec
+        clock = tracer.clock
+        t0 = clock()
+        tracer.set_sim_time(self.now)
+        self._fire_events()
+        self.platform.mem.begin_window(dt)
+        for binding in self.bindings:
+            binding.workload.begin_quantum(self.now)
+        sub_dt = dt / spec.subquanta
+        budget = spec.cycles_per_quantum / spec.subquanta
+        traffic_s = workload_s = 0.0
+        for sub in range(spec.subquanta):
+            sub_now = self.now + sub * sub_dt
+            t1 = clock()
+            self._deliver_traffic(sub_dt, sub_now)
+            t2 = clock()
+            for binding in self.bindings:
+                binding.workload.run(budget, sub_now)
+            traffic_s += t2 - t1
+            workload_s += clock() - t2
+        window_bytes = self.platform.mem.end_window()
+        self.now += dt
+        t3 = clock()
+        self._record_quantum(window_bytes)
+        t4 = clock()
+        self._run_controllers()
+        t5 = clock()
+        tracer.profile_add("engine.traffic", traffic_s)
+        tracer.profile_add("engine.workloads", workload_s)
+        tracer.profile_add("engine.record", t4 - t3)
+        tracer.profile_add("engine.controllers", t5 - t4)
+        tracer.complete("sim", "quantum", t5 - t0, t=self.now)
 
     def _fire_events(self) -> None:
         while self._events and self._events[0].time <= self.now + 1e-12:
@@ -239,3 +283,27 @@ class Simulation:
             record.vf_dropped[name] = traffic.vf.drops - last[1]
             self._vf_last[name] = (traffic.vf.delivered, traffic.vf.drops)
         self.metrics.append(record)
+        tracer = current_tracer()
+        if tracer.enabled:
+            self._trace_quantum(tracer, record)
+
+    def _trace_quantum(self, tracer, record: QuantumRecord) -> None:
+        """Emit one quantum's telemetry: the full record (the
+        ``metrics`` view's source of truth), per-track counters, and
+        the sampled LLC event-counter deltas."""
+        tracer.set_sim_time(record.time)
+        tracer.instant("metrics", "quantum", **asdict(record))
+        tracer.counter("ddio", "events", hits=record.ddio_hits,
+                       misses=record.ddio_misses, mask=record.ddio_mask)
+        tracer.counter("mem", "bytes", read=record.mem_read_bytes,
+                       write=record.mem_write_bytes)
+        for name, snap in record.tenants.items():
+            tracer.counter("tenant", name, ipc=snap.ipc,
+                           llc_references=snap.llc_references,
+                           llc_misses=snap.llc_misses, mask=snap.mask)
+        stats = self.platform.llc.stats()
+        last = self._llc_stats_last
+        tracer.counter("llc", "events",
+                       **{key: value - last.get(key, 0)
+                          for key, value in stats.items()})
+        self._llc_stats_last = stats

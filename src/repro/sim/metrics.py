@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 import numpy as np
 
@@ -40,6 +40,38 @@ class QuantumRecord:
     mem_write_bytes: int
     vf_delivered: "dict[str, int]" = field(default_factory=dict)
     vf_dropped: "dict[str, int]" = field(default_factory=dict)
+
+
+#: Field-name sets for strict decoding: an unknown key in serialized
+#: input raises a ValueError naming the offenders instead of a bare
+#: TypeError from ``**kwargs`` (or, worse, being dropped silently).
+_RECORD_FIELDS = frozenset(f.name for f in fields(QuantumRecord))
+_SNAPSHOT_FIELDS = frozenset(f.name for f in fields(TenantSnapshot))
+
+
+def record_from_dict(raw: dict) -> QuantumRecord:
+    """Decode one :class:`QuantumRecord` from its ``asdict`` form.
+
+    Strict: unknown fields — at the record or tenant-snapshot level —
+    raise :class:`ValueError`.  Shared by :meth:`MetricsRecorder.from_json`
+    and the trace-reconstruction views (:mod:`repro.obs.views`).
+    """
+    unknown = set(raw) - _RECORD_FIELDS
+    if unknown:
+        raise ValueError(
+            f"unknown QuantumRecord field(s): {sorted(unknown)}")
+    raw = dict(raw)
+    tenants = {}
+    for name, snap in raw.pop("tenants").items():
+        extra = set(snap) - _SNAPSHOT_FIELDS
+        if extra:
+            raise ValueError(f"unknown TenantSnapshot field(s) for "
+                             f"{name!r}: {sorted(extra)}")
+        tenants[name] = TenantSnapshot(**snap)
+    record = QuantumRecord(tenants=tenants, **raw)
+    record.vf_delivered = dict(record.vf_delivered)
+    record.vf_dropped = dict(record.vf_dropped)
+    return record
 
 
 class MetricsRecorder:
@@ -88,23 +120,26 @@ class MetricsRecorder:
 
     @classmethod
     def from_json(cls, text: str) -> "MetricsRecorder":
+        """Inverse of :meth:`to_json`; raises on unknown fields."""
         recorder = cls()
         for raw in json.loads(text):
-            tenants = {name: TenantSnapshot(**snap)
-                       for name, snap in raw.pop("tenants").items()}
-            recorder.append(QuantumRecord(tenants=tenants, **raw))
+            recorder.append(record_from_dict(raw))
         return recorder
 
     def to_csv(self) -> str:
-        """Flat CSV: one row per quantum, tenant columns prefixed."""
+        """Flat CSV: one row per quantum; tenant and VF columns prefixed
+        (``<tenant>.<attr>``, ``vf.<name>.delivered|dropped``)."""
         if not self.records:
             return ""
         names = sorted(self.records[0].tenants)
+        vf_names = sorted(self.records[0].vf_delivered)
         header = (["time", "ddio_hits", "ddio_misses", "ddio_mask",
                    "mem_read_bytes", "mem_write_bytes"]
                   + [f"{n}.{attr}" for n in names
                      for attr in ("ipc", "llc_references", "llc_misses",
-                                  "mask")])
+                                  "mask")]
+                  + [f"vf.{n}.{attr}" for n in vf_names
+                     for attr in ("delivered", "dropped")])
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(header)
@@ -116,5 +151,55 @@ class MetricsRecorder:
                 snap = record.tenants[name]
                 row += [snap.ipc, snap.llc_references, snap.llc_misses,
                         snap.mask]
+            for name in vf_names:
+                row += [record.vf_delivered.get(name, 0),
+                        record.vf_dropped.get(name, 0)]
             writer.writerow(row)
         return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "MetricsRecorder":
+        """Inverse of :meth:`to_csv`; raises on unrecognized columns."""
+        recorder = cls()
+        rows = list(csv.reader(io.StringIO(text)))
+        if not rows:
+            return recorder
+        header = rows[0]
+        base = ["time", "ddio_hits", "ddio_misses", "ddio_mask",
+                "mem_read_bytes", "mem_write_bytes"]
+        if header[:len(base)] != base:
+            raise ValueError(f"unexpected CSV base columns: "
+                             f"{header[:len(base)]}")
+        snapshot_attrs = ("ipc", "llc_references", "llc_misses", "mask")
+        for row in rows[1:]:
+            if not row:
+                continue
+            values = dict(zip(header, row))
+            tenants: "dict[str, dict]" = {}
+            vf_delivered: "dict[str, int]" = {}
+            vf_dropped: "dict[str, int]" = {}
+            for col in header[len(base):]:
+                if col.startswith("vf.") and col.endswith(".delivered"):
+                    vf_delivered[col[3:-len(".delivered")]] = \
+                        int(values[col])
+                elif col.startswith("vf.") and col.endswith(".dropped"):
+                    vf_dropped[col[3:-len(".dropped")]] = int(values[col])
+                else:
+                    name, _, attr = col.rpartition(".")
+                    if not name or attr not in snapshot_attrs:
+                        raise ValueError(f"unrecognized CSV column: "
+                                         f"{col!r}")
+                    tenants.setdefault(name, {})[attr] = (
+                        float(values[col]) if attr == "ipc"
+                        else int(values[col]))
+            recorder.append(QuantumRecord(
+                time=float(values["time"]),
+                tenants={name: TenantSnapshot(**snap)
+                         for name, snap in tenants.items()},
+                ddio_hits=int(values["ddio_hits"]),
+                ddio_misses=int(values["ddio_misses"]),
+                ddio_mask=int(values["ddio_mask"]),
+                mem_read_bytes=int(values["mem_read_bytes"]),
+                mem_write_bytes=int(values["mem_write_bytes"]),
+                vf_delivered=vf_delivered, vf_dropped=vf_dropped))
+        return recorder

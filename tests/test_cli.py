@@ -29,6 +29,18 @@ class TestParser:
             ["daemon", "--tenants", "t.txt"])
         assert args.backend == "sim"
         assert args.interval == 1.0
+        assert args.log_level == "warning"
+        assert args.trace_out is None
+
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "fig11"])
+        assert args.format == "perfetto"
+        assert args.out is None
+        assert not args.fast
+
+    def test_trace_unknown_figure(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
 
 
 class TestFigureFast:
@@ -50,15 +62,70 @@ class TestFigureRegistry:
         assert "ext-ddio" in FIGURES
 
 
+class TestTrace:
+    def test_fig15_fast_writes_perfetto_trace(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "trace.json"
+        assert main(["trace", "fig15", "--fast", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "Fig. 15" in stdout
+        assert "trace:" in stdout and "events" in stdout
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["producer"] == "repro.obs"
+
+    def test_jsonl_format(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "fig15", "--fast", "--format", "jsonl",
+                     "--out", str(out)]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines and all(json.loads(line)["ph"] in ("i", "C", "X")
+                             for line in lines)
+
+    def test_leaves_no_tracer_installed(self, tmp_path, capsys):
+        from repro.obs import NULL_TRACER, current_tracer
+        out = tmp_path / "trace.json"
+        main(["trace", "fig15", "--fast", "--out", str(out)])
+        assert current_tracer() is NULL_TRACER
+
+
 class TestDaemonSim:
+    TENANTS = ("pmd cores=0,1 priority=PC io=yes ways=2\n"
+               "xmem cores=2 priority=BE io=no ways=2\n")
+
     def test_sim_backend_runs_from_tenants_file(self, tmp_path, capsys):
         path = tmp_path / "tenants.txt"
-        path.write_text(
-            "pmd cores=0,1 priority=PC io=yes ways=2\n"
-            "xmem cores=2 priority=BE io=no ways=2\n")
+        path.write_text(self.TENANTS)
         code = main(["daemon", "--tenants", str(path),
                      "--duration", "3.0"])
         assert code == 0
         out = capsys.readouterr().out
         assert "ddio=" in out
         assert "low-keep" in out
+
+    def test_exit_summary_line(self, tmp_path, capsys):
+        path = tmp_path / "tenants.txt"
+        path.write_text(self.TENANTS)
+        assert main(["daemon", "--tenants", str(path),
+                     "--duration", "3.0"]) == 0
+        summary = [line for line in capsys.readouterr().out.splitlines()
+                   if line.startswith("daemon:")]
+        assert len(summary) == 1
+        assert "iterations" in summary[0]
+        assert "state changes" in summary[0]
+        assert "ddio_ways=" in summary[0]
+
+    def test_trace_out_writes_perfetto(self, tmp_path, capsys):
+        import json
+        from repro.obs import NULL_TRACER, current_tracer
+        path = tmp_path / "tenants.txt"
+        path.write_text(self.TENANTS)
+        out = tmp_path / "daemon.json"
+        assert main(["daemon", "--tenants", str(path),
+                     "--duration", "3.0", "--trace-out", str(out),
+                     "--log-level", "info"]) == 0
+        doc = json.loads(out.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "iteration" in names  # daemon events made it to the file
+        assert current_tracer() is NULL_TRACER

@@ -32,6 +32,7 @@ class TestSubpackages:
         "repro.cache", "repro.mem", "repro.pci", "repro.net",
         "repro.vswitch", "repro.tenants", "repro.workloads", "repro.perf",
         "repro.sim", "repro.core", "repro.experiments", "repro.cli",
+        "repro.obs",
     ])
     def test_importable_with_all(self, module):
         mod = importlib.import_module(module)

@@ -38,6 +38,20 @@ class TestJsonRoundtrip:
         clone = MetricsRecorder.from_json(MetricsRecorder().to_json())
         assert len(clone) == 0
 
+    def test_unknown_record_field_rejected(self):
+        import json
+        payload = json.loads(make_recorder(1).to_json())
+        payload[0]["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            MetricsRecorder.from_json(json.dumps(payload))
+
+    def test_unknown_snapshot_field_rejected(self):
+        import json
+        payload = json.loads(make_recorder(1).to_json())
+        payload[0]["tenants"]["a"]["surprise"] = 9
+        with pytest.raises(ValueError, match="surprise"):
+            MetricsRecorder.from_json(json.dumps(payload))
+
 
 class TestCsv:
     def test_header_and_rows(self):
@@ -48,8 +62,37 @@ class TestCsv:
         assert "a.ipc" in lines[0] and "b.llc_misses" in lines[0]
         assert lines[1].startswith("0.1,50,5")
 
+    def test_vf_columns_present(self):
+        lines = make_recorder(1).to_csv().strip().splitlines()
+        assert "vf.vf0.delivered" in lines[0]
+        assert "vf.vf0.dropped" in lines[0]
+        assert lines[1].endswith("10,1")
+
     def test_empty(self):
         assert MetricsRecorder().to_csv() == ""
+
+    def test_roundtrip_preserves_everything(self):
+        original = make_recorder()
+        clone = MetricsRecorder.from_csv(original.to_csv())
+        assert clone.records == original.records
+
+    def test_dotted_vf_names_roundtrip(self):
+        recorder = make_recorder(2)
+        for record in recorder.records:
+            record.vf_delivered = {"nic0.rx": 7}
+            record.vf_dropped = {"nic0.rx": 2}
+        clone = MetricsRecorder.from_csv(recorder.to_csv())
+        assert clone.records == recorder.records
+
+    def test_unrecognized_column_rejected(self):
+        text = make_recorder(1).to_csv()
+        lines = text.splitlines()
+        lines[0] = lines[0].replace("a.ipc", "a.oops")
+        with pytest.raises(ValueError, match="oops"):
+            MetricsRecorder.from_csv("\n".join(lines))
+
+    def test_empty_roundtrip(self):
+        assert len(MetricsRecorder.from_csv("")) == 0
 
 
 ONE_SET = CacheGeometry(ways=4, sets_per_slice=1, slices=1)
