@@ -1,0 +1,77 @@
+"""Sweep-execution benchmark: the Fig. 8 sweep through ``repro.exec``.
+
+Three timed configurations of the same sweep:
+
+* ``serial_s`` — one point at a time, no cache (the historical
+  behaviour of every harness before the runner existed).
+* ``parallel_s`` — the ``ParallelRunner`` fanning points across all
+  cores into a cold content-addressed cache.  ``parallel_speedup`` is
+  the headline number; it only exceeds ~1x on a multi-core host, so the
+  record also carries ``jobs`` for context.
+* ``warm_s`` — the same sweep again with the now-warm cache: every
+  point must replay from disk without running a simulation.
+  ``warm_fraction`` (warm / cold-parallel wall time) is the cache's
+  acceptance number — the ISSUE target is < 0.10 on any host.
+
+``results_match`` asserts the parallel run is field-for-field identical
+to the serial one (explicit per-point seeds make the simulation
+deterministic; processes change scheduling, not arithmetic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import shutil
+import tempfile
+import time
+
+from repro.exec import ParallelRunner, ResultCache
+from repro.experiments import fig08_leaky_dma
+from repro.sim.config import TINY_PLATFORM, XEON_6140
+
+
+def _sweep(scale: str):
+    if scale == "tiny":
+        spec = dataclasses.replace(TINY_PLATFORM, llc_backend="array")
+        return fig08_leaky_dma.sweep(packet_sizes=(256, 512),
+                                     duration_s=0.6, warmup_s=0.2,
+                                     spec=spec)
+    spec = dataclasses.replace(XEON_6140, llc_backend="array")
+    return fig08_leaky_dma.sweep(packet_sizes=(64, 256, 1024, 1500),
+                                 duration_s=4.0, warmup_s=2.0, spec=spec)
+
+
+def _timed(runner: ParallelRunner, spec) -> "tuple[float, list]":
+    t0 = time.perf_counter()
+    with runner:
+        results = runner.run(spec)
+    return time.perf_counter() - t0, results
+
+
+def run_suite(scale: str = "default") -> dict:
+    """Serial vs. parallel vs. warm-cache timings for one sweep."""
+    spec = _sweep(scale)
+    jobs = os.cpu_count() or 1
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        serial_s, serial = _timed(ParallelRunner(jobs=1), spec)
+        parallel_s, parallel = _timed(
+            ParallelRunner(jobs=jobs, cache=ResultCache(cache_root)), spec)
+        warm_cache = ResultCache(cache_root)
+        warm_s, warm = _timed(
+            ParallelRunner(jobs=jobs, cache=warm_cache), spec)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    return {
+        "sweep": spec.name,
+        "points": len(spec),
+        "jobs": jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "warm_s": warm_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s else 0.0,
+        "warm_fraction": warm_s / parallel_s if parallel_s else 0.0,
+        "results_match": serial == parallel == warm,
+        "warm_hits": warm_cache.hits,
+    }

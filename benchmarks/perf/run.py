@@ -28,6 +28,7 @@ for path in (_HERE, _SRC):
 from bench_engine import run_engine  # noqa: E402
 from bench_llc import run_micro      # noqa: E402
 from bench_obs import run_obs        # noqa: E402
+from bench_suite import run_suite    # noqa: E402
 
 SCHEMA = "repro-bench-llc/1"
 DEFAULT_OUT = os.path.join(_HERE, "BENCH_llc.json")
@@ -37,6 +38,7 @@ def run(scale: str = "default") -> dict:
     micro = run_micro(scale)
     engine = run_engine(scale)
     obs = run_obs(scale)
+    suite = run_suite(scale)
     return {
         "schema": SCHEMA,
         "created_utc": datetime.datetime.now(datetime.timezone.utc)
@@ -46,6 +48,8 @@ def run(scale: str = "default") -> dict:
         "engine": engine,
         # Tracing overhead (repro.obs): baseline vs. disabled vs. enabled.
         "obs": obs,
+        # Sweep execution (repro.exec): serial vs. parallel vs. warm cache.
+        "suite": suite,
         # Headline number: end-to-end scalar/array on fig. 8 leaky DMA.
         "speedup": engine["speedup"],
     }
@@ -76,6 +80,14 @@ def validate(doc: dict) -> None:
             assert key in obs, f"obs result missing {key}"
         assert obs["events"] > 0, "enabled tracer recorded no events"
         assert isinstance(obs["profile_shares"], dict)
+    suite = doc.get("suite")
+    if suite is not None:  # absent in pre-exec documents (schema additive)
+        for key in ("sweep", "points", "jobs", "serial_s", "parallel_s",
+                    "warm_s", "parallel_speedup", "warm_fraction",
+                    "results_match", "warm_hits"):
+            assert key in suite, f"suite result missing {key}"
+        assert suite["results_match"] is True, "parallel diverged from serial"
+        assert suite["warm_hits"] == suite["points"], "warm run missed cache"
     assert isinstance(doc.get("speedup"), float)
 
 
@@ -109,6 +121,13 @@ def main(argv=None) -> int:
     for key, share in sorted(obs["profile_shares"].items(),
                              key=lambda kv: kv[1], reverse=True):
         print(f"       profile {key:>20}: {share:.1%}")
+    suite = doc["suite"]
+    print(f"suite  {suite['sweep']} x{suite['points']}: "
+          f"serial {suite['serial_s']:.3f}s"
+          f"  parallel {suite['parallel_s']:.3f}s (jobs={suite['jobs']},"
+          f" {suite['parallel_speedup']:.2f}x)"
+          f"  warm {suite['warm_s']:.3f}s"
+          f" ({suite['warm_fraction']:.1%} of cold)")
     print(f"wrote {args.out}")
     return 0
 

@@ -1,15 +1,23 @@
 """Command-line interface: ``python -m repro`` or the ``repro`` script.
 
-Four subcommands:
+Five subcommands:
 
 * ``repro figures`` — list the reproducible figures.
-* ``repro figure <id> [--fast]`` — regenerate one figure's table
-  (``--fast`` shrinks sweeps/durations for a quick look).
+* ``repro figure <id> [--fast] [--jobs N] [--no-cache] [--duration S]
+  [--warmup S]`` — regenerate one figure's table.  ``--fast`` shrinks
+  sweeps/durations for a quick look; sweep points fan out across
+  ``--jobs`` worker processes (default: all cores) and completed points
+  replay from the on-disk result cache (see ``docs/experiments.md``)
+  unless ``--no-cache`` is given.  ``--duration``/``--warmup`` override
+  the harness's measurement window where it supports one.
+* ``repro suite [--fast] [--jobs N]`` — run every figure back to back
+  through one shared worker pool.
 * ``repro trace <id> [--fast] [--out FILE] [--format perfetto|jsonl]``
   — run a figure with the tracing subsystem enabled (see
   ``docs/observability.md``) and export the event stream; the default
   ``perfetto`` format loads directly into https://ui.perfetto.dev.
-  Also prints the self-profiling per-subsystem time shares.
+  Also prints the self-profiling per-subsystem time shares.  Tracing
+  forces serial, uncached execution so every event is observed.
 * ``repro daemon --tenants FILE [--backend sim|linux]`` — run the IAT
   daemon against a tenant affiliation file.  The ``linux`` backend
   drives real MSRs (root + the msr module required — untested here, see
@@ -22,83 +30,139 @@ Four subcommands:
 from __future__ import annotations
 
 import argparse
+import inspect
+import re
 import sys
+import time
+from dataclasses import dataclass, field
 
+from .exec import ParallelRunner, ResultCache
 from .experiments import (ext_ddio, fig03_ring_size, fig04_latent_contender,
                           fig08_leaky_dma, fig09_flow_scaling, fig10_shuffle,
                           fig11_timeline, fig12_exec_time,
                           fig13_rocksdb_latency, fig14_redis_ycsb,
                           fig15_overhead, sensitivity)
 
-#: figure id -> (description, full runner, fast runner)
+
+@dataclass(frozen=True)
+class FigureEntry:
+    """One reproducible figure: how to run it and how to print it."""
+
+    description: str
+    run: object                    # run(**kwargs) -> result
+    format: object                 # format(result) -> str
+    fast_kwargs: dict = field(default_factory=dict)
+
+
 FIGURES = {
-    "fig3": ("RFC2544 zero-loss throughput vs Rx ring size",
-             lambda: fig03_ring_size.format_table(fig03_ring_size.run()),
-             lambda: fig03_ring_size.format_table(fig03_ring_size.run(
-                 ring_sizes=(64, 1024), packet_sizes=(64,),
-                 measure_s=2.2, warmup_s=0.4, max_trials=5))),
-    "fig4": ("X-Mem vs DDIO way overlap (Latent Contender)",
-             lambda: fig04_latent_contender.format_table(
-                 fig04_latent_contender.run()),
-             lambda: fig04_latent_contender.format_table(
-                 fig04_latent_contender.run(working_sets_mb=(4, 16),
-                                            warmup_s=1.0, measure_s=1.5))),
-    "fig8": ("Leaky DMA: DDIO hit/miss, memory BW, OVS IPC/CPP",
-             lambda: fig08_leaky_dma.format_table(fig08_leaky_dma.run()),
-             lambda: fig08_leaky_dma.format_table(fig08_leaky_dma.run(
-                 packet_sizes=(64, 1500), duration_s=6.0, warmup_s=3.0))),
-    "fig9": ("OVS under growing flow counts (Core Demand)",
-             lambda: fig09_flow_scaling.format_table(
-                 fig09_flow_scaling.run()),
-             lambda: fig09_flow_scaling.format_table(fig09_flow_scaling.run(
-                 flow_counts=(1, 1_000_000), duration_s=6.0,
-                 warmup_s=3.0))),
-    "fig10": ("Four-policy Latent Contender comparison",
-              lambda: fig10_shuffle.format_table(fig10_shuffle.run()),
-              lambda: fig10_shuffle.format_table(fig10_shuffle.run(
-                  packet_sizes=(1500,)))),
-    "fig11": ("LLC allocation timeline with IAT",
-              lambda: fig11_timeline.format_timeline(fig11_timeline.run()),
-              lambda: fig11_timeline.format_timeline(fig11_timeline.run(
-                  t_grow=2.0, t_ddio=6.0, t_end=9.0))),
-    "fig12": ("App slowdown co-run with Redis/FastClick",
-              lambda: fig12_exec_time.format_table(fig12_exec_time.run()),
-              lambda: fig12_exec_time.format_table(fig12_exec_time.run(
-                  scenarios=("kvs",), apps=("mcf", "gcc"), seeds=(0, 1),
-                  warmup_s=1.0, measure_s=1.5))),
-    "fig13": ("RocksDB normalized weighted latency",
-              lambda: fig13_rocksdb_latency.format_table(
-                  fig13_rocksdb_latency.run()),
-              lambda: fig13_rocksdb_latency.format_table(
-                  fig13_rocksdb_latency.run(scenarios=("kvs",),
-                                            letters=("C",), seeds=(0, 1),
-                                            warmup_s=1.0, measure_s=1.5))),
-    "fig14": ("Redis YCSB degradation",
-              lambda: fig14_redis_ycsb.format_table(fig14_redis_ycsb.run()),
-              lambda: fig14_redis_ycsb.format_table(fig14_redis_ycsb.run(
-                  letters=("C",), seeds=(0, 1), warmup_s=1.0,
-                  measure_s=1.5))),
-    "fig15": ("IAT daemon per-iteration cost",
-              lambda: fig15_overhead.format_table(fig15_overhead.run()),
-              lambda: fig15_overhead.format_table(fig15_overhead.run(
-                  one_core_counts=(1, 4, 16), two_core_counts=(2,),
-                  iterations=20))),
-    "ext-ddio": ("Sec. VII extension: device-/app-aware DDIO",
-                 lambda: ext_ddio.format_table(ext_ddio.run()),
-                 lambda: ext_ddio.format_table(ext_ddio.run(
-                     duration_s=4.0, warmup_s=2.0))),
-    "sensitivity": ("IAT parameter-sensitivity sweep (Sec. VI-A remark)",
-                    lambda: sensitivity.format_table(sensitivity.run()),
-                    lambda: sensitivity.format_table(sensitivity.run(
-                        sweeps={"threshold_stable": (0.03, 0.10)},
-                        duration_s=6.0, warmup_s=3.0))),
+    "fig3": FigureEntry(
+        "RFC2544 zero-loss throughput vs Rx ring size",
+        fig03_ring_size.run, fig03_ring_size.format_table,
+        dict(ring_sizes=(64, 1024), packet_sizes=(64,), measure_s=2.2,
+             warmup_s=0.4, max_trials=5)),
+    "fig4": FigureEntry(
+        "X-Mem vs DDIO way overlap (Latent Contender)",
+        fig04_latent_contender.run, fig04_latent_contender.format_table,
+        dict(working_sets_mb=(4, 16), warmup_s=1.0, measure_s=1.5)),
+    "fig8": FigureEntry(
+        "Leaky DMA: DDIO hit/miss, memory BW, OVS IPC/CPP",
+        fig08_leaky_dma.run, fig08_leaky_dma.format_table,
+        dict(packet_sizes=(64, 1500), duration_s=6.0, warmup_s=3.0)),
+    "fig9": FigureEntry(
+        "OVS under growing flow counts (Core Demand)",
+        fig09_flow_scaling.run, fig09_flow_scaling.format_table,
+        dict(flow_counts=(1, 1_000_000), duration_s=6.0, warmup_s=3.0)),
+    "fig10": FigureEntry(
+        "Four-policy Latent Contender comparison",
+        fig10_shuffle.run, fig10_shuffle.format_table,
+        dict(packet_sizes=(1500,))),
+    "fig11": FigureEntry(
+        "LLC allocation timeline with IAT",
+        fig11_timeline.run, fig11_timeline.format_timeline,
+        dict(t_grow=2.0, t_ddio=6.0, t_end=9.0)),
+    "fig12": FigureEntry(
+        "App slowdown co-run with Redis/FastClick",
+        fig12_exec_time.run, fig12_exec_time.format_table,
+        dict(scenarios=("kvs",), apps=("mcf", "gcc"), seeds=(0, 1),
+             warmup_s=1.0, measure_s=1.5)),
+    "fig13": FigureEntry(
+        "RocksDB normalized weighted latency",
+        fig13_rocksdb_latency.run, fig13_rocksdb_latency.format_table,
+        dict(scenarios=("kvs",), letters=("C",), seeds=(0, 1),
+             warmup_s=1.0, measure_s=1.5)),
+    "fig14": FigureEntry(
+        "Redis YCSB degradation",
+        fig14_redis_ycsb.run, fig14_redis_ycsb.format_table,
+        dict(letters=("C",), seeds=(0, 1), warmup_s=1.0, measure_s=1.5)),
+    "fig15": FigureEntry(
+        "IAT daemon per-iteration cost",
+        fig15_overhead.run, fig15_overhead.format_table,
+        dict(one_core_counts=(1, 4, 16), two_core_counts=(2,),
+             iterations=20)),
+    "ext-ddio": FigureEntry(
+        "Sec. VII extension: device-/app-aware DDIO",
+        ext_ddio.run, ext_ddio.format_table,
+        dict(duration_s=4.0, warmup_s=2.0)),
+    "sensitivity": FigureEntry(
+        "IAT parameter-sensitivity sweep (Sec. VI-A remark)",
+        sensitivity.run, sensitivity.format_table,
+        dict(sweeps={"threshold_stable": (0.03, 0.10)}, duration_s=6.0,
+             warmup_s=3.0)),
 }
+
+
+def _natural_key(name: str) -> list:
+    """fig3 < fig4 < fig8 < fig10 — digits compare numerically."""
+    return [int(part) if part.isdigit() else part
+            for part in re.split(r"(\d+)", name)]
+
+
+def sorted_figures() -> "list[str]":
+    """Figure ids in stable (natural-sorted) order, independent of the
+    registry's insertion order."""
+    return sorted(FIGURES, key=_natural_key)
+
+
+def _make_runner(args) -> ParallelRunner:
+    """A runner configured from the shared sweep CLI flags."""
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = ResultCache(getattr(args, "cache_dir", None))
+    return ParallelRunner(jobs=args.jobs, cache=cache,
+                          echo=sys.stderr.isatty())
+
+
+def _run_entry(entry: FigureEntry, *, fast: bool,
+               runner: "ParallelRunner | None" = None,
+               duration: "float | None" = None,
+               warmup: "float | None" = None) -> str:
+    """Run one figure, plumbing runner and window overrides through the
+    harness's own ``run(**kwargs)`` signature."""
+    kwargs = dict(entry.fast_kwargs) if fast else {}
+    params = inspect.signature(entry.run).parameters
+    if "runner" in params and runner is not None:
+        kwargs["runner"] = runner
+    if duration is not None:
+        for name in ("duration_s", "measure_s"):
+            if name in params:
+                kwargs[name] = duration
+                break
+        else:
+            print("note: this figure does not take --duration; ignored",
+                  file=sys.stderr)
+    if warmup is not None:
+        if "warmup_s" in params:
+            kwargs["warmup_s"] = warmup
+        else:
+            print("note: this figure does not take --warmup; ignored",
+                  file=sys.stderr)
+    return entry.format(entry.run(**kwargs))
 
 
 def _cmd_figures(_args) -> int:
     width = max(len(name) for name in FIGURES)
-    for name, (description, _, _) in FIGURES.items():
-        print(f"{name:<{width}}  {description}")
+    for name in sorted_figures():
+        print(f"{name:<{width}}  {FIGURES[name].description}")
     return 0
 
 
@@ -108,8 +172,25 @@ def _cmd_figure(args) -> int:
         print(f"unknown figure {args.id!r}; try 'repro figures'",
               file=sys.stderr)
         return 2
-    _, full, fast = entry
-    print((fast if args.fast else full)())
+    with _make_runner(args) as runner:
+        print(_run_entry(entry, fast=args.fast, runner=runner,
+                         duration=args.duration, warmup=args.warmup))
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    start = time.perf_counter()
+    with _make_runner(args) as runner:
+        for name in sorted_figures():
+            entry = FIGURES[name]
+            print(f"=== {name} — {entry.description} ===")
+            print(_run_entry(entry, fast=args.fast, runner=runner,
+                             duration=args.duration, warmup=args.warmup))
+            print()
+    elapsed = time.perf_counter() - start
+    hits = runner.cache.hits if runner.cache is not None else 0
+    print(f"suite: {len(FIGURES)} figures in {elapsed:.1f}s "
+          f"(jobs={runner.effective_jobs()}, cache hits={hits})")
     return 0
 
 
@@ -122,7 +203,6 @@ def _cmd_trace(args) -> int:
         print(f"unknown figure {args.id!r}; try 'repro figures'",
               file=sys.stderr)
         return 2
-    _, full, fast = entry
     suffix = "jsonl" if args.format == "jsonl" else "json"
     out = args.out or f"trace_{args.id}.{suffix}"
     tracer = Tracer(profiling=True)
@@ -130,7 +210,9 @@ def _cmd_trace(args) -> int:
     tracer.add_sink(JsonlSink(out) if args.format == "jsonl"
                     else PerfettoSink(out))
     with tracing(tracer):
-        table = (fast if args.fast else full)()
+        # No runner: serial, uncached — a cache hit would skip the
+        # simulation entirely and record no events.
+        table = _run_entry(entry, fast=args.fast)
     tracer.close()
     print(table)
     print(f"trace: {len(ring)} events -> {out}")
@@ -251,11 +333,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("figures", help="list reproducible figures") \
         .set_defaults(func=_cmd_figures)
 
+    def add_sweep_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fast", action="store_true",
+                       help="reduced sweep for a quick look")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: all cores)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="recompute every point, bypass the result "
+                            "cache")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache root (default ~/.cache/repro "
+                            "or $REPRO_CACHE_DIR)")
+        p.add_argument("--duration", type=float, default=None, metavar="S",
+                       help="override the measurement window (seconds)")
+        p.add_argument("--warmup", type=float, default=None, metavar="S",
+                       help="override the warmup window (seconds)")
+
     figure = sub.add_parser("figure", help="regenerate one figure")
     figure.add_argument("id", help="figure id (see 'repro figures')")
-    figure.add_argument("--fast", action="store_true",
-                        help="reduced sweep for a quick look")
+    add_sweep_flags(figure)
     figure.set_defaults(func=_cmd_figure)
+
+    suite = sub.add_parser("suite",
+                           help="run every figure through one shared "
+                                "worker pool")
+    add_sweep_flags(suite)
+    suite.set_defaults(func=_cmd_suite)
 
     trace = sub.add_parser("trace",
                            help="run a figure with tracing enabled")

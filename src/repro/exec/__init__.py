@@ -1,0 +1,34 @@
+"""repro.exec: the sweep-execution subsystem.
+
+Every figure harness is a cross-product of independent, pure points
+(:class:`SweepSpec` / :class:`Point` — :mod:`repro.exec.sweep`);
+:class:`ParallelRunner` (:mod:`repro.exec.runner`) fans those points
+across a process pool with a serial in-process fallback, replays
+completed points from a content-addressed on-disk cache
+(:class:`ResultCache` — :mod:`repro.exec.cache`), and reports
+progress/ETA through the :mod:`repro.obs` tracer
+(:mod:`repro.exec.progress`).
+
+Quick use::
+
+    from repro.exec import ParallelRunner, ResultCache
+    from repro.experiments import fig08_leaky_dma
+
+    with ParallelRunner(jobs=4, cache=ResultCache()) as runner:
+        result = fig08_leaky_dma.run(runner=runner)
+
+See ``docs/experiments.md`` for point hashing, the cache layout, and
+the invalidation rules.
+"""
+
+from .cache import (ResultCache, code_fingerprint, default_cache_dir,
+                    point_key)
+from .progress import SweepProgress
+from .runner import ParallelRunner, run_sweep
+from .sweep import Point, SweepSpec, canonical_params, func_ref
+
+__all__ = [
+    "ParallelRunner", "Point", "ResultCache", "SweepProgress",
+    "SweepSpec", "canonical_params", "code_fingerprint",
+    "default_cache_dir", "func_ref", "point_key", "run_sweep",
+]

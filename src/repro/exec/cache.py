@@ -1,0 +1,148 @@
+"""Content-addressed on-disk result cache for sweep points.
+
+A completed point is a pure function of its parameters and of the code
+that computed it, so its result can be keyed by content and replayed
+for free on the next run.  The key of one point is::
+
+    sha256(spec name \\n point-function module:qualname \\n spec version
+           \\n code fingerprint \\n canonical params)
+
+where the *code fingerprint* is a sha256 over the source of every
+``*.py`` file in the installed :mod:`repro` package (path-sorted,
+content-addressed — timestamps never matter) plus ``repro.__version__``.
+Any source change anywhere in the package therefore invalidates every
+cached point; this is deliberately coarse because a point runs the
+whole simulator stack, and a stale hit is far worse than a spurious
+miss.  See ``docs/experiments.md`` for the full invalidation rules.
+
+Layout (default root ``~/.cache/repro``, overridable with
+``--cache-dir`` or ``REPRO_CACHE_DIR``)::
+
+    <root>/<spec name>/<key[:2]>/<key>.pkl
+
+Each entry is a pickle of ``{"meta": {...}, "result": <point result>}``
+written atomically (temp file + ``os.replace``), so concurrent writers
+— e.g. two ``repro figure`` invocations racing on the same point — are
+safe: last writer wins with an identical payload.  Unreadable or
+corrupt entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from functools import lru_cache
+
+from .sweep import Point, SweepSpec, canonical_params, func_ref
+
+__all__ = ["ResultCache", "code_fingerprint", "default_cache_dir",
+           "point_key"]
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """sha256 over every ``repro/**.py`` source file plus the version."""
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    digest.update(repro.__version__.encode())
+    return digest.hexdigest()
+
+
+def point_key(spec: SweepSpec, point: Point) -> str:
+    """Stable content hash identifying one point's result."""
+    payload = "\n".join((spec.name, func_ref(spec.func), spec.version,
+                         code_fingerprint(), canonical_params(point.params)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle store addressed by :func:`point_key` digests."""
+
+    def __init__(self, root: "str | None" = None) -> None:
+        self.root = root or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, spec_name: str, key: str) -> str:
+        return os.path.join(self.root, spec_name, key[:2], key + ".pkl")
+
+    def get(self, spec_name: str, key: str) -> "tuple[bool, object]":
+        """``(hit, result)``; corrupt entries count as misses."""
+        path = self._path(spec_name, key)
+        try:
+            with open(path, "rb") as handle:
+                doc = pickle.load(handle)
+            result = doc["result"]
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except (OSError, KeyError, TypeError, EOFError, AttributeError,
+                pickle.UnpicklingError):
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return False, None
+        self.hits += 1
+        return True, result
+
+    def put(self, spec_name: str, key: str, result,
+            meta: "dict | None" = None) -> None:
+        path = self._path(spec_name, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        doc = {"meta": dict(meta or {}, stored_utc=time.time()),
+               "result": result}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(doc, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self, spec_name: "str | None" = None) -> int:
+        """Remove cached entries (one sweep's, or everything); returns
+        the number of entries removed."""
+        import shutil
+
+        roots = ([os.path.join(self.root, spec_name)] if spec_name
+                 else [os.path.join(self.root, d)
+                       for d in (os.listdir(self.root)
+                                 if os.path.isdir(self.root) else [])])
+        removed = 0
+        for root in roots:
+            if not os.path.isdir(root):
+                continue
+            for dirpath, _dirnames, filenames in os.walk(root):
+                removed += sum(1 for f in filenames if f.endswith(".pkl"))
+            shutil.rmtree(root, ignore_errors=True)
+        return removed

@@ -1,0 +1,153 @@
+"""The sweep runner: fan independent points across processes, replay
+completed ones from the cache.
+
+:class:`ParallelRunner` executes a :class:`~repro.exec.sweep.SweepSpec`
+and returns the point results *in declared point order*, regardless of
+completion order, cache state, or worker count — so
+
+* ``ParallelRunner(jobs=1)`` (a plain in-process loop) and
+* ``ParallelRunner(jobs=N)`` (a ``ProcessPoolExecutor`` fan-out)
+
+produce bit-identical result lists: every point function builds its own
+explicitly-seeded simulation from its arguments alone, and pickling the
+result back from a worker preserves float bits exactly.  Tracing runs
+fall back to serial in-process execution automatically (worker
+processes would emit their events into their own, unobserved tracers).
+
+The executor is created lazily and kept for the runner's lifetime, so
+one runner can drive many sweeps — ``repro suite`` pushes every figure
+through a single shared pool.  Use the runner as a context manager (or
+call :meth:`close`) to shut the pool down.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from time import perf_counter
+
+from ..obs import current_tracer
+from .cache import ResultCache, code_fingerprint, point_key
+from .progress import SweepProgress
+from .sweep import SweepSpec
+
+__all__ = ["ParallelRunner", "run_sweep"]
+
+
+def _call_point(func, params: dict):
+    """Module-level worker entry point (picklable by reference).
+
+    Returns ``(result, compute_seconds)`` — the duration is measured in
+    the worker so the parent's ETA reflects compute time, not queueing.
+    """
+    start = perf_counter()
+    value = func(**params)
+    return value, perf_counter() - start
+
+
+class ParallelRunner:
+    """Executes sweeps; owns an optional process pool and result cache.
+
+    ``jobs``      worker processes; ``None`` means ``os.cpu_count()``.
+                  ``1`` runs points serially in-process (no pool, no
+                  pickling of results — the historical behavior).
+    ``cache``     a :class:`~repro.exec.cache.ResultCache`, or ``None``
+                  to recompute everything.
+    ``echo``      keep a progress/ETA line updated on stderr.
+    """
+
+    def __init__(self, *, jobs: "int | None" = None,
+                 cache: "ResultCache | None" = None,
+                 echo: bool = False) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.echo = echo
+        self._executor: "ProcessPoolExecutor | None" = None
+
+    # ------------------------------------------------------------------
+    def effective_jobs(self) -> int:
+        """Worker count for the next sweep; 1 under an active tracer."""
+        if current_tracer().enabled:
+            return 1
+        return self.jobs if self.jobs else max(1, os.cpu_count() or 1)
+
+    def _pool(self, jobs: int) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=jobs)
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> list:
+        """Evaluate every point; results in declared point order."""
+        points = spec.points
+        total = len(points)
+        progress = SweepProgress(spec.name, total, echo=self.echo)
+        results: "list[object]" = [None] * total
+        todo: "list[int]" = []
+        keys: "list[str] | None" = None
+
+        if self.cache is not None:
+            keys = [point_key(spec, p) for p in points]
+            for i, key in enumerate(keys):
+                hit, value = self.cache.get(spec.name, key)
+                if hit:
+                    results[i] = value
+                    progress.point_done(cached=True)
+                else:
+                    todo.append(i)
+        else:
+            todo = list(range(total))
+
+        jobs = self.effective_jobs()
+        if len(todo) <= 1 or jobs == 1:
+            for i in todo:
+                value, seconds = _call_point(spec.func, points[i].params)
+                self._finish(spec, i, keys, results, progress,
+                             value, seconds)
+        else:
+            pool = self._pool(jobs)
+            futures = {pool.submit(_call_point, spec.func,
+                                   points[i].params): i
+                       for i in todo}
+            for future in as_completed(futures):
+                i = futures[future]
+                value, seconds = future.result()
+                self._finish(spec, i, keys, results, progress,
+                             value, seconds)
+        progress.finish()
+        return results
+
+    def _finish(self, spec, index, keys, results, progress,
+                value, seconds) -> None:
+        results[index] = value
+        if self.cache is not None and keys is not None:
+            self.cache.put(spec.name, keys[index], value,
+                           meta={"sweep": spec.name,
+                                 "params": spec.points[index].key(),
+                                 "fingerprint": code_fingerprint()})
+        progress.point_done(cached=False, seconds=seconds)
+
+
+def run_sweep(spec: SweepSpec,
+              runner: "ParallelRunner | None" = None) -> list:
+    """Run ``spec`` through ``runner``, or serially in-process (no pool,
+    no cache) when none is given — the default for library callers, so
+    ``fig08_leaky_dma.run()`` behaves exactly as it always has unless a
+    runner is handed in (the CLI builds one from ``--jobs``/``--cache``
+    flags)."""
+    if runner is None:
+        return ParallelRunner(jobs=1).run(spec)
+    return runner.run(spec)

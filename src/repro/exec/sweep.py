@@ -1,0 +1,118 @@
+"""Declarative sweep model: a figure harness is a cross-product of
+independent points.
+
+Every experiment harness in :mod:`repro.experiments` reproduces one
+paper figure by evaluating a *point function* — a pure, module-level
+function of picklable keyword arguments (packet size, mode, seed,
+platform spec, durations) — over a cross-product of those arguments.
+:class:`SweepSpec` captures that structure declaratively so the
+execution strategy (serial loop, process pool, result cache — see
+:mod:`repro.exec.runner`) is chosen by the caller, not hard-coded in
+each harness's nested ``for`` loops.
+
+Point functions must be *module-level* (picklable by reference) and
+*pure*: the result may depend only on the call arguments, never on
+process-global state.  Purity is what makes fan-out across a
+``ProcessPoolExecutor`` bit-identical to a serial loop, and what makes
+a content-addressed result cache (:mod:`repro.exec.cache`) sound.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from itertools import product
+
+__all__ = ["Point", "SweepSpec", "canonical_params", "func_ref"]
+
+
+def canonical_params(params: dict) -> str:
+    """Stable textual identity of a point's parameters.
+
+    ``repr`` of the key-sorted item list: deterministic across
+    processes and runs for the parameter types sweeps use (str, int,
+    float, bool, None, tuples, and dataclasses such as
+    :class:`~repro.sim.config.PlatformSpec`, whose generated ``repr``
+    is value-based).
+    """
+    return repr(sorted(params.items()))
+
+
+def func_ref(func) -> str:
+    """``module:qualname`` reference of a point function."""
+    return f"{func.__module__}:{func.__qualname__}"
+
+
+def _check_point_function(func) -> None:
+    """Reject functions a worker process could not import by reference."""
+    qualname = getattr(func, "__qualname__", "")
+    module = getattr(func, "__module__", "")
+    if "<" in qualname or "." in qualname or not module:
+        raise ValueError(
+            f"point function {func!r} must be module-level (picklable "
+            f"by reference); got qualname {qualname!r}")
+    owner = sys.modules.get(module)
+    if owner is not None and getattr(owner, qualname, None) is not func:
+        raise ValueError(
+            f"point function {qualname!r} does not resolve to itself in "
+            f"module {module!r}; workers could not import it")
+
+
+@dataclass(frozen=True)
+class Point:
+    """One evaluation of a sweep's point function.
+
+    ``index`` is the position in the sweep's declared order (which is
+    also the order of the runner's result list); ``params`` are the
+    keyword arguments of the call.
+    """
+
+    index: int
+    params: dict
+
+    def key(self) -> str:
+        return canonical_params(self.params)
+
+
+@dataclass
+class SweepSpec:
+    """A named sweep: one point function plus the points to evaluate.
+
+    ``version`` is an optional extra cache-invalidation token a harness
+    can bump when its *semantics* change in a way not visible in the
+    parameters (the code fingerprint already covers source changes).
+    """
+
+    name: str
+    func: object
+    points: "list[Point]" = field(default_factory=list)
+    version: str = ""
+
+    def __post_init__(self) -> None:
+        _check_point_function(self.func)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @classmethod
+    def from_points(cls, name: str, func, param_dicts, *,
+                    version: str = "") -> "SweepSpec":
+        """Build from an explicit, ordered iterable of parameter dicts."""
+        points = [Point(i, dict(p)) for i, p in enumerate(param_dicts)]
+        return cls(name, func, points, version)
+
+    @classmethod
+    def from_product(cls, name: str, func, axes: dict, *,
+                     common: "dict | None" = None,
+                     version: str = "") -> "SweepSpec":
+        """Cross-product of ``axes`` (in insertion order, last axis
+        fastest — matching the harnesses' historical nested loops),
+        each point extended with the ``common`` fixed parameters."""
+        common = dict(common or {})
+        names = list(axes)
+        dicts = []
+        for values in product(*(tuple(axes[n]) for n in names)):
+            params = dict(common)
+            params.update(zip(names, values))
+            dicts.append(params)
+        return cls.from_points(name, func, dicts, version=version)

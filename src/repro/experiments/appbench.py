@@ -13,7 +13,11 @@ Paper Sec. VI-C protocol:
 
 This module runs one (scenario, app, mode, seed) cell and returns every
 metric the three figures need, so the per-figure modules are thin
-aggregations.
+aggregations.  :func:`solo_app_run`, :func:`solo_net_run` and
+:func:`corun` are module-level pure functions of picklable arguments on
+purpose: they are the *point functions* of the Fig. 12-14 sweeps
+(:mod:`repro.exec`), dispatched to worker processes and keyed into the
+result cache by their argument lists.
 """
 
 from __future__ import annotations

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from ..cache.cat import ways_to_mask
 from ..core import ControlPlane, StaticPolicy
+from ..exec import ParallelRunner, SweepSpec, run_sweep
 from ..net.traffic import TrafficSpec
 from ..sim.config import PlatformSpec
 from ..sim.engine import Simulation
@@ -122,11 +123,19 @@ def run_one(mode: str, *, duration_s: float = 8.0, warmup_s: float = 3.0,
         mem_gbps=mean_mem_bandwidth(records, quantum, scale) / 1e9)
 
 
+def sweep(*, duration_s: float = 8.0, warmup_s: float = 3.0,
+          spec: "PlatformSpec | None" = None) -> SweepSpec:
+    return SweepSpec.from_product(
+        "ext-ddio", run_one, axes={"mode": MODES},
+        common=dict(duration_s=duration_s, warmup_s=warmup_s, spec=spec))
+
+
 def run(*, duration_s: float = 8.0, warmup_s: float = 3.0,
-        spec: "PlatformSpec | None" = None) -> ExtResult:
-    return ExtResult([run_one(mode, duration_s=duration_s,
-                              warmup_s=warmup_s, spec=spec)
-                      for mode in MODES])
+        spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> ExtResult:
+    return ExtResult(run_sweep(sweep(duration_s=duration_s,
+                                     warmup_s=warmup_s, spec=spec),
+                               runner))
 
 
 def format_table(result: ExtResult) -> str:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec import ParallelRunner, SweepSpec, run_sweep
 from ..net.rfc2544 import TrialResult, find_zero_loss_rate
 from ..pci.nic import line_rate_pps
 from ..sim.config import PlatformSpec
@@ -86,22 +87,47 @@ def _make_trial(packet_size: int, ring_entries: int, *,
     return trial
 
 
+def run_point(packet_size: int, ring_entries: int, *,
+              measure_s: float = 2.2, warmup_s: float = 0.4,
+              resolution: float = 0.08, max_trials: int = 14,
+              spec: "PlatformSpec | None" = None) -> float:
+    """One sweep point: the RFC 2544 zero-loss rate for one
+    (packet size, ring size) cell — the binary search and all of its
+    trials run inside the point, so points stay independent."""
+    ceiling = line_rate_pps(40.0, packet_size)
+    trial = _make_trial(packet_size, ring_entries, measure_s=measure_s,
+                        warmup_s=warmup_s, spec=spec, time_scale_hint=1.0)
+    result = find_zero_loss_rate(trial, ceiling, resolution=resolution,
+                                 max_trials=max_trials)
+    return result.max_loss_free_pps
+
+
+def sweep(*, ring_sizes=DEFAULT_RING_SIZES,
+          packet_sizes=DEFAULT_PACKET_SIZES, measure_s: float = 2.2,
+          warmup_s: float = 0.4, resolution: float = 0.08,
+          max_trials: int = 14,
+          spec: "PlatformSpec | None" = None) -> SweepSpec:
+    return SweepSpec.from_product(
+        "fig3", run_point,
+        axes={"packet_size": packet_sizes, "ring_entries": ring_sizes},
+        common=dict(measure_s=measure_s, warmup_s=warmup_s,
+                    resolution=resolution, max_trials=max_trials,
+                    spec=spec))
+
+
 def run(*, ring_sizes=DEFAULT_RING_SIZES, packet_sizes=DEFAULT_PACKET_SIZES,
         measure_s: float = 2.2, warmup_s: float = 0.4,
         resolution: float = 0.08, max_trials: int = 14,
-        spec: "PlatformSpec | None" = None) -> Fig3Result:
+        spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> Fig3Result:
     """Run the full Fig. 3 sweep."""
-    max_pps: "dict[tuple[int, int], float]" = {}
-    for packet_size in packet_sizes:
-        ceiling = line_rate_pps(40.0, packet_size)
-        for ring in ring_sizes:
-            trial = _make_trial(packet_size, ring, measure_s=measure_s,
-                                warmup_s=warmup_s, spec=spec,
-                                time_scale_hint=1.0)
-            result = find_zero_loss_rate(trial, ceiling,
-                                         resolution=resolution,
-                                         max_trials=max_trials)
-            max_pps[(packet_size, ring)] = result.max_loss_free_pps
+    rates = run_sweep(sweep(ring_sizes=ring_sizes,
+                            packet_sizes=packet_sizes, measure_s=measure_s,
+                            warmup_s=warmup_s, resolution=resolution,
+                            max_trials=max_trials, spec=spec), runner)
+    cells = [(packet_size, ring) for packet_size in packet_sizes
+             for ring in ring_sizes]
+    max_pps = dict(zip(cells, rates))
     return Fig3Result(tuple(packet_sizes), tuple(ring_sizes), max_pps)
 
 

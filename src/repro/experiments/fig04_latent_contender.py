@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec import ParallelRunner, SweepSpec, run_sweep
 from ..sim.config import PlatformSpec
 from .common import latent_contender_scenario
 from .measure import StatsWindow
@@ -52,11 +53,13 @@ class Fig4Result:
         return max(p.latency_gain for p in self.points)
 
 
-def _one_case(ws_bytes: int, overlap: bool, *, warmup_s: float,
-              measure_s: float, packet_size: int,
-              spec: "PlatformSpec | None") -> "tuple[float, float]":
+def run_case(ws_mb: int, overlap: bool, *, warmup_s: float = 3.0,
+             measure_s: float = 3.0, packet_size: int = 1024,
+             spec: "PlatformSpec | None" = None) -> "tuple[float, float]":
+    """One sweep point: X-Mem ``(throughput ops/s, avg latency ns)`` for
+    a working set either on dedicated or on DDIO-overlapped ways."""
     scenario = latent_contender_scenario(
-        xmem_ws_bytes=ws_bytes, overlap_ddio=overlap,
+        xmem_ws_bytes=ws_mb << 20, overlap_ddio=overlap,
         packet_size=packet_size, spec=spec)
     xmem = scenario.workloads["xmem"]
     window = StatsWindow(xmem)
@@ -69,18 +72,27 @@ def _one_case(ws_bytes: int, overlap: bool, *, warmup_s: float,
     return result.ops_per_sec(scenario.time_scale), latency_ns
 
 
+def sweep(*, working_sets_mb=DEFAULT_WORKING_SETS_MB,
+          packet_size: int = 1024, warmup_s: float = 3.0,
+          measure_s: float = 3.0,
+          spec: "PlatformSpec | None" = None) -> SweepSpec:
+    return SweepSpec.from_product(
+        "fig4", run_case,
+        axes={"ws_mb": working_sets_mb, "overlap": (False, True)},
+        common=dict(warmup_s=warmup_s, measure_s=measure_s,
+                    packet_size=packet_size, spec=spec))
+
+
 def run(*, working_sets_mb=DEFAULT_WORKING_SETS_MB, packet_size: int = 1024,
         warmup_s: float = 3.0, measure_s: float = 3.0,
-        spec: "PlatformSpec | None" = None) -> Fig4Result:
+        spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> Fig4Result:
+    cases = run_sweep(sweep(working_sets_mb=working_sets_mb,
+                            packet_size=packet_size, warmup_s=warmup_s,
+                            measure_s=measure_s, spec=spec), runner)
     points = []
-    for ws_mb in working_sets_mb:
-        ws = ws_mb << 20
-        tput_ded, lat_ded = _one_case(ws, False, warmup_s=warmup_s,
-                                      measure_s=measure_s,
-                                      packet_size=packet_size, spec=spec)
-        tput_ovl, lat_ovl = _one_case(ws, True, warmup_s=warmup_s,
-                                      measure_s=measure_s,
-                                      packet_size=packet_size, spec=spec)
+    for ws_mb, ((tput_ded, lat_ded), (tput_ovl, lat_ovl)) in zip(
+            working_sets_mb, zip(cases[::2], cases[1::2])):
         points.append(Fig4Point(ws_mb, tput_ded, tput_ovl, lat_ded, lat_ovl))
     return Fig4Result(points)
 

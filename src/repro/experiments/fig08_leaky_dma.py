@@ -16,11 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec import ParallelRunner, SweepSpec, run_sweep
 from ..net.packet import PACKET_SIZE_LADDER
 from ..sim.config import PlatformSpec
 from .common import leaky_dma_scenario
 from .measure import (StatsWindow, ddio_rates, mean_mem_bandwidth,
                       mean_tenant_ipc, steady_window)
+
+MODES = ("baseline", "iat")
 
 
 @dataclass
@@ -83,14 +86,22 @@ def run_one(packet_size: int, mode: str, *, duration_s: float = 10.0,
         ddio_ways_final=bin(scenario.platform.ddio.mask).count("1"))
 
 
+def sweep(*, packet_sizes=PACKET_SIZE_LADDER, duration_s: float = 10.0,
+          warmup_s: float = 4.0,
+          spec: "PlatformSpec | None" = None) -> SweepSpec:
+    """The figure's cross-product, declaratively (see repro.exec)."""
+    return SweepSpec.from_product(
+        "fig8", run_one,
+        axes={"packet_size": packet_sizes, "mode": MODES},
+        common=dict(duration_s=duration_s, warmup_s=warmup_s, spec=spec))
+
+
 def run(*, packet_sizes=PACKET_SIZE_LADDER, duration_s: float = 10.0,
-        warmup_s: float = 4.0,
-        spec: "PlatformSpec | None" = None) -> Fig8Result:
-    points = []
-    for packet_size in packet_sizes:
-        for mode in ("baseline", "iat"):
-            points.append(run_one(packet_size, mode, duration_s=duration_s,
-                                  warmup_s=warmup_s, spec=spec))
+        warmup_s: float = 4.0, spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> Fig8Result:
+    points = run_sweep(sweep(packet_sizes=packet_sizes,
+                             duration_s=duration_s, warmup_s=warmup_s,
+                             spec=spec), runner)
     return Fig8Result(points)
 
 

@@ -12,11 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec import ParallelRunner, SweepSpec, run_sweep
 from ..sim.config import PlatformSpec
 from .common import leaky_dma_scenario
 from .measure import mean_tenant_ipc, steady_window, sum_tenant_misses
 
 DEFAULT_FLOW_COUNTS = (1, 100, 1_000, 10_000, 100_000, 1_000_000)
+MODES = ("baseline", "iat")
 
 
 @dataclass
@@ -84,14 +86,21 @@ def run_one(n_flows: int, mode: str, *, duration_s: float = 12.0,
         ovs_ways_final=ways)
 
 
+def sweep(*, flow_counts=DEFAULT_FLOW_COUNTS, duration_s: float = 10.0,
+          warmup_s: float = 4.0,
+          spec: "PlatformSpec | None" = None) -> SweepSpec:
+    return SweepSpec.from_product(
+        "fig9", run_one,
+        axes={"n_flows": flow_counts, "mode": MODES},
+        common=dict(duration_s=duration_s, warmup_s=warmup_s, spec=spec))
+
+
 def run(*, flow_counts=DEFAULT_FLOW_COUNTS, duration_s: float = 10.0,
-        warmup_s: float = 4.0,
-        spec: "PlatformSpec | None" = None) -> Fig9Result:
-    points = []
-    for n_flows in flow_counts:
-        for mode in ("baseline", "iat"):
-            points.append(run_one(n_flows, mode, duration_s=duration_s,
-                                  warmup_s=warmup_s, spec=spec))
+        warmup_s: float = 4.0, spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> Fig9Result:
+    points = run_sweep(sweep(flow_counts=flow_counts,
+                             duration_s=duration_s, warmup_s=warmup_s,
+                             spec=spec), runner)
     return Fig9Result(points)
 
 

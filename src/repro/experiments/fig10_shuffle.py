@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cache.ddio import ddio_mask_for_ways
+from ..exec import ParallelRunner, SweepSpec, run_sweep
 from ..sim.config import PlatformSpec
 from .common import shuffle_scenario
 from .measure import StatsWindow, WindowResult
@@ -95,12 +96,19 @@ def run_one(mode: str, packet_size: int, *,
         phase3_latency_ns=results[3].avg_latency_cycles / freq * 1e9)
 
 
+def sweep(*, packet_sizes=(64, 256, 1024, 1500), modes=MODES,
+          spec: "PlatformSpec | None" = None) -> SweepSpec:
+    return SweepSpec.from_product(
+        "fig10", run_one,
+        axes={"packet_size": packet_sizes, "mode": modes},
+        common=dict(spec=spec))
+
+
 def run(*, packet_sizes=(64, 256, 1024, 1500), modes=MODES,
-        spec: "PlatformSpec | None" = None) -> Fig10Result:
-    points = []
-    for packet_size in packet_sizes:
-        for mode in modes:
-            points.append(run_one(mode, packet_size, spec=spec))
+        spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> Fig10Result:
+    points = run_sweep(sweep(packet_sizes=packet_sizes, modes=modes,
+                             spec=spec), runner)
     return Fig10Result(points)
 
 

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..cache.cat import mask_ways
 from ..cache.ddio import ddio_mask_for_ways
+from ..exec import ParallelRunner, SweepSpec, run_sweep
 from ..sim.config import PlatformSpec
 from .common import shuffle_scenario
 
@@ -46,9 +47,10 @@ class Fig11Result:
         return None
 
 
-def run(*, packet_size: int = 1500, t_grow: float = 5.0,
-        t_ddio: float = 15.0, t_end: float = 20.0,
-        spec: "PlatformSpec | None" = None) -> Fig11Result:
+def run_point(packet_size: int = 1500, *, t_grow: float = 5.0,
+              t_ddio: float = 15.0, t_end: float = 20.0,
+              spec: "PlatformSpec | None" = None) -> Fig11Result:
+    """The timeline is a single sweep point (one traced run)."""
     scenario = shuffle_scenario(packet_size=packet_size, spec=spec)
     daemon = scenario.attach_controller("iat", manage_ddio=False)
     sim = scenario.sim
@@ -68,6 +70,24 @@ def run(*, packet_size: int = 1500, t_grow: float = 5.0,
         masks=masks,
         ddio_masks=[r.ddio_mask for r in metrics.records],
         daemon_history=daemon.history)
+
+
+def sweep(*, packet_size: int = 1500, t_grow: float = 5.0,
+          t_ddio: float = 15.0, t_end: float = 20.0,
+          spec: "PlatformSpec | None" = None) -> SweepSpec:
+    return SweepSpec.from_points(
+        "fig11", run_point,
+        [dict(packet_size=packet_size, t_grow=t_grow, t_ddio=t_ddio,
+              t_end=t_end, spec=spec)])
+
+
+def run(*, packet_size: int = 1500, t_grow: float = 5.0,
+        t_ddio: float = 15.0, t_end: float = 20.0,
+        spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> Fig11Result:
+    return run_sweep(sweep(packet_size=packet_size, t_grow=t_grow,
+                           t_ddio=t_ddio, t_end=t_end, spec=spec),
+                     runner)[0]
 
 
 def format_timeline(result: Fig11Result, *, stride: int = 10) -> str:

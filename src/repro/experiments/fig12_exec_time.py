@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec import ParallelRunner, SweepSpec, canonical_params, run_sweep
 from ..sim.config import PlatformSpec
 from .appbench import corun, solo_app_run
 
@@ -45,34 +46,59 @@ class Fig12Result:
         raise KeyError((scenario, app))
 
 
+def sweeps(*, scenarios=("kvs", "nfv"), apps=DEFAULT_APPS,
+           seeds=DEFAULT_SEEDS, ycsb_letter: str = "A",
+           warmup_s: float = 2.0, measure_s: float = 4.0,
+           spec: "PlatformSpec | None" = None
+           ) -> "tuple[SweepSpec, SweepSpec]":
+    """(solo sweep, co-run sweep) — the point functions live in
+    :mod:`repro.experiments.appbench`."""
+    common = dict(ycsb_letter=ycsb_letter, warmup_s=warmup_s,
+                  measure_s=measure_s, spec=spec)
+    solo = SweepSpec.from_product("fig12/solo", solo_app_run,
+                                  axes={"app": apps}, common=common)
+    points = []
+    for scenario in scenarios:
+        for app in apps:
+            for seed in seeds:
+                points.append(dict(kind=scenario, app=app,
+                                   mode="baseline", seed=seed, **common))
+            points.append(dict(kind=scenario, app=app, mode="iat",
+                               **common))
+    return solo, SweepSpec.from_points("fig12/corun", corun, points)
+
+
 def run(*, scenarios=("kvs", "nfv"), apps=DEFAULT_APPS,
         seeds=DEFAULT_SEEDS, ycsb_letter: str = "A",
         warmup_s: float = 2.0, measure_s: float = 4.0,
-        spec: "PlatformSpec | None" = None) -> Fig12Result:
+        spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> Fig12Result:
     """YCSB-A (50 % updates) drives the Redis side by default: update
     requests carry the 1 KB value inbound, which is what makes the
     networking co-runner press the DDIO ways."""
+    solo_spec, corun_spec = sweeps(scenarios=scenarios, apps=apps,
+                                   seeds=seeds, ycsb_letter=ycsb_letter,
+                                   warmup_s=warmup_s, measure_s=measure_s,
+                                   spec=spec)
+    solo_rates = dict(zip(apps, (m.app_rate
+                                 for m in run_sweep(solo_spec, runner))))
+    corun_metrics = dict(zip((p.key() for p in corun_spec.points),
+                             run_sweep(corun_spec, runner)))
+
+    def norm_of(point_params) -> float:
+        metrics = corun_metrics[canonical_params(point_params)]
+        solo = solo_rates[point_params["app"]]
+        return solo / metrics.app_rate if metrics.app_rate else float("inf")
+
+    common = dict(ycsb_letter=ycsb_letter, warmup_s=warmup_s,
+                  measure_s=measure_s, spec=spec)
     cells = []
-    solo_rates = {app: solo_app_run(app, ycsb_letter, warmup_s=warmup_s,
-                                    measure_s=measure_s, spec=spec).app_rate
-                  for app in apps}
     for scenario in scenarios:
         for app in apps:
-            solo = solo_rates[app]
-            norm = []
-            for seed in seeds:
-                metrics = corun(scenario, app, "baseline",
-                                ycsb_letter=ycsb_letter, seed=seed,
-                                warmup_s=warmup_s, measure_s=measure_s,
-                                spec=spec)
-                norm.append(solo / metrics.app_rate
-                            if metrics.app_rate else float("inf"))
-            iat_metrics = corun(scenario, app, "iat",
-                                ycsb_letter=ycsb_letter,
-                                warmup_s=warmup_s, measure_s=measure_s,
-                                spec=spec)
-            iat_norm = (solo / iat_metrics.app_rate
-                        if iat_metrics.app_rate else float("inf"))
+            norm = [norm_of(dict(kind=scenario, app=app, mode="baseline",
+                                 seed=seed, **common)) for seed in seeds]
+            iat_norm = norm_of(dict(kind=scenario, app=app, mode="iat",
+                                    **common))
             cells.append(Fig12Cell(scenario, app, min(norm), max(norm),
                                    iat_norm))
     return Fig12Result(cells)

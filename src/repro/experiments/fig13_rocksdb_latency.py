@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec import ParallelRunner, SweepSpec, canonical_params, run_sweep
 from ..sim.config import PlatformSpec
 from ..workloads.ycsb import ALL_WORKLOADS
 from .appbench import corun, solo_app_run
@@ -51,28 +52,52 @@ class Fig13Result:
         raise KeyError((scenario, letter))
 
 
+def sweeps(*, scenarios=("kvs", "nfv"), letters=DEFAULT_LETTERS,
+           seeds=DEFAULT_SEEDS, warmup_s: float = 2.0,
+           measure_s: float = 4.0, spec: "PlatformSpec | None" = None
+           ) -> "tuple[SweepSpec, SweepSpec]":
+    timing = dict(warmup_s=warmup_s, measure_s=measure_s, spec=spec)
+    solo = SweepSpec.from_points(
+        "fig13/solo", solo_app_run,
+        [dict(app="rocksdb", ycsb_letter=letter, **timing)
+         for letter in letters])
+    points = []
+    for letter in letters:
+        for scenario in scenarios:
+            for seed in seeds:
+                points.append(dict(kind=scenario, app="rocksdb",
+                                   mode="baseline", ycsb_letter=letter,
+                                   seed=seed, **timing))
+            points.append(dict(kind=scenario, app="rocksdb", mode="iat",
+                               ycsb_letter=letter, **timing))
+    return solo, SweepSpec.from_points("fig13/corun", corun, points)
+
+
 def run(*, scenarios=("kvs", "nfv"), letters=DEFAULT_LETTERS,
         seeds=DEFAULT_SEEDS, warmup_s: float = 2.0, measure_s: float = 4.0,
-        spec: "PlatformSpec | None" = None) -> Fig13Result:
+        spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> Fig13Result:
+    solo_spec, corun_spec = sweeps(scenarios=scenarios, letters=letters,
+                                   seeds=seeds, warmup_s=warmup_s,
+                                   measure_s=measure_s, spec=spec)
+    solos = dict(zip(letters, run_sweep(solo_spec, runner)))
+    corun_metrics = dict(zip((p.key() for p in corun_spec.points),
+                             run_sweep(corun_spec, runner)))
+    timing = dict(warmup_s=warmup_s, measure_s=measure_s, spec=spec)
+
+    def value_of(letter, **params) -> float:
+        metrics = corun_metrics[canonical_params(
+            dict(app="rocksdb", ycsb_letter=letter, **params, **timing))]
+        return weighted_latency(metrics.rocksdb_per_op,
+                                solos[letter].rocksdb_per_op,
+                                ALL_WORKLOADS[letter])
+
     cells = []
     for letter in letters:
-        mix = ALL_WORKLOADS[letter]
-        solo = solo_app_run("rocksdb", letter, warmup_s=warmup_s,
-                            measure_s=measure_s, spec=spec)
         for scenario in scenarios:
-            values = []
-            for seed in seeds:
-                metrics = corun(scenario, "rocksdb", "baseline",
-                                ycsb_letter=letter, seed=seed,
-                                warmup_s=warmup_s, measure_s=measure_s,
-                                spec=spec)
-                values.append(weighted_latency(metrics.rocksdb_per_op,
-                                               solo.rocksdb_per_op, mix))
-            iat_metrics = corun(scenario, "rocksdb", "iat",
-                                ycsb_letter=letter, warmup_s=warmup_s,
-                                measure_s=measure_s, spec=spec)
-            iat_value = weighted_latency(iat_metrics.rocksdb_per_op,
-                                         solo.rocksdb_per_op, mix)
+            values = [value_of(letter, kind=scenario, mode="baseline",
+                               seed=seed) for seed in seeds]
+            iat_value = value_of(letter, kind=scenario, mode="iat")
             cells.append(Fig13Cell(scenario, letter, min(values),
                                    max(values), iat_value))
     return Fig13Result(cells)

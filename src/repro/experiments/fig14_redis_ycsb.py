@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec import ParallelRunner, SweepSpec, canonical_params, run_sweep
 from ..sim.config import PlatformSpec
 from .appbench import corun, solo_net_run
 
@@ -57,24 +58,49 @@ def _degradations(metrics, solo) -> "dict[str, float]":
     }
 
 
+def sweeps(*, letters=DEFAULT_LETTERS, seeds=DEFAULT_SEEDS,
+           app: str = DEFAULT_APP, warmup_s: float = 2.0,
+           measure_s: float = 4.0, spec: "PlatformSpec | None" = None
+           ) -> "tuple[SweepSpec, SweepSpec]":
+    timing = dict(warmup_s=warmup_s, measure_s=measure_s, spec=spec)
+    solo = SweepSpec.from_points(
+        "fig14/solo", solo_net_run,
+        [dict(kind="kvs", ycsb_letter=letter, **timing)
+         for letter in letters])
+    points = []
+    for letter in letters:
+        for seed in seeds:
+            points.append(dict(kind="kvs", app=app, mode="baseline",
+                               ycsb_letter=letter, seed=seed, **timing))
+        points.append(dict(kind="kvs", app=app, mode="iat",
+                           ycsb_letter=letter, **timing))
+    return solo, SweepSpec.from_points("fig14/corun", corun, points)
+
+
 def run(*, letters=DEFAULT_LETTERS, seeds=DEFAULT_SEEDS,
         app: str = DEFAULT_APP, warmup_s: float = 2.0,
-        measure_s: float = 4.0,
-        spec: "PlatformSpec | None" = None) -> Fig14Result:
+        measure_s: float = 4.0, spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> Fig14Result:
+    solo_spec, corun_spec = sweeps(letters=letters, seeds=seeds, app=app,
+                                   warmup_s=warmup_s, measure_s=measure_s,
+                                   spec=spec)
+    solos = dict(zip(letters, run_sweep(solo_spec, runner)))
+    corun_metrics = dict(zip((p.key() for p in corun_spec.points),
+                             run_sweep(corun_spec, runner)))
+    timing = dict(warmup_s=warmup_s, measure_s=measure_s, spec=spec)
+
+    def metrics_of(letter, **params):
+        return corun_metrics[canonical_params(
+            dict(kind="kvs", app=app, ycsb_letter=letter, **params,
+                 **timing))]
+
     cells = []
     for letter in letters:
-        solo = solo_net_run("kvs", letter, warmup_s=warmup_s,
-                            measure_s=measure_s, spec=spec)
-        per_seed = []
-        for seed in seeds:
-            metrics = corun("kvs", app, "baseline", ycsb_letter=letter,
-                            seed=seed, warmup_s=warmup_s,
-                            measure_s=measure_s, spec=spec)
-            per_seed.append(_degradations(metrics, solo))
-        iat_metrics = corun("kvs", app, "iat", ycsb_letter=letter,
-                            warmup_s=warmup_s, measure_s=measure_s,
-                            spec=spec)
-        iat_deg = _degradations(iat_metrics, solo)
+        solo = solos[letter]
+        per_seed = [_degradations(metrics_of(letter, mode="baseline",
+                                             seed=seed), solo)
+                    for seed in seeds]
+        iat_deg = _degradations(metrics_of(letter, mode="iat"), solo)
         for metric in ("throughput", "avg", "p99"):
             values = [d[metric] for d in per_seed]
             cells.append(Fig14Cell(letter, metric, max(values), min(values),

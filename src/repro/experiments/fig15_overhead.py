@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core import ControlPlane, IATDaemon, IATParams
+from ..exec import ParallelRunner, SweepSpec, run_sweep
 from ..sim.config import PlatformSpec, XEON_6140
 from ..sim.platform import Platform
 from ..tenants.tenant import Priority, Tenant, TenantSet
@@ -109,15 +110,24 @@ def run_one(n_tenants: int, cores_per_tenant: int, *,
                       stable_wall, unstable_wall)
 
 
+def sweep(*, one_core_counts=DEFAULT_ONE_CORE_COUNTS,
+          two_core_counts=DEFAULT_TWO_CORE_COUNTS,
+          iterations: int = 50) -> SweepSpec:
+    points = ([dict(n_tenants=count, cores_per_tenant=1,
+                    iterations=iterations) for count in one_core_counts]
+              + [dict(n_tenants=count, cores_per_tenant=2,
+                      iterations=iterations) for count in two_core_counts])
+    return SweepSpec.from_points("fig15", run_one, points)
+
+
 def run(*, one_core_counts=DEFAULT_ONE_CORE_COUNTS,
         two_core_counts=DEFAULT_TWO_CORE_COUNTS,
-        iterations: int = 50) -> Fig15Result:
-    result = Fig15Result()
-    for count in one_core_counts:
-        result.points.append(run_one(count, 1, iterations=iterations))
-    for count in two_core_counts:
-        result.points.append(run_one(count, 2, iterations=iterations))
-    return result
+        iterations: int = 50,
+        runner: "ParallelRunner | None" = None) -> Fig15Result:
+    points = run_sweep(sweep(one_core_counts=one_core_counts,
+                             two_core_counts=two_core_counts,
+                             iterations=iterations), runner)
+    return Fig15Result(points)
 
 
 def format_table(result: Fig15Result) -> str:

@@ -25,10 +25,14 @@ class WindowResult:
 
     @property
     def avg_latency_cycles(self) -> float:
-        return self.latency_sum_cycles / self.ops if self.ops else 0.0
+        """Mean latency over the window; 0.0 for an empty window."""
+        if self.ops <= 0:
+            return 0.0
+        return self.latency_sum_cycles / self.ops
 
     def ops_per_sec(self, time_scale: float = 1.0) -> float:
-        if self.seconds <= 0:
+        """Throughput over the window; 0.0 for a zero-length window."""
+        if self.seconds <= 0 or self.ops <= 0:
             return 0.0
         return self.ops / self.seconds / time_scale
 

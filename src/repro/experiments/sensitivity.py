@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..core import IATParams
+from ..exec import ParallelRunner, SweepSpec, run_sweep
 from ..sim.config import PlatformSpec
 from .common import leaky_dma_scenario
 from .measure import ddio_rates, steady_window
@@ -77,14 +78,21 @@ DEFAULT_SWEEPS = {
 }
 
 
-def run(*, sweeps=None, duration_s: float = 10.0, warmup_s: float = 4.0,
-        spec: "PlatformSpec | None" = None) -> SensitivityResult:
+def sweep(*, sweeps=None, duration_s: float = 10.0, warmup_s: float = 4.0,
+          spec: "PlatformSpec | None" = None) -> SweepSpec:
     sweeps = sweeps or DEFAULT_SWEEPS
-    points = []
-    for knob, values in sweeps.items():
-        for value in values:
-            points.append(run_one(knob, value, duration_s=duration_s,
-                                  warmup_s=warmup_s, spec=spec))
+    return SweepSpec.from_points(
+        "sensitivity", run_one,
+        [dict(knob=knob, value=value, duration_s=duration_s,
+              warmup_s=warmup_s, spec=spec)
+         for knob, values in sweeps.items() for value in values])
+
+
+def run(*, sweeps=None, duration_s: float = 10.0, warmup_s: float = 4.0,
+        spec: "PlatformSpec | None" = None,
+        runner: "ParallelRunner | None" = None) -> SensitivityResult:
+    points = run_sweep(sweep(sweeps=sweeps, duration_s=duration_s,
+                             warmup_s=warmup_s, spec=spec), runner)
     return SensitivityResult(points)
 
 

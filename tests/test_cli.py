@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import FIGURES, build_parser, main
+from repro.cli import (FIGURES, FigureEntry, build_parser, main,
+                       sorted_figures)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI invocations from touching the real ~/.cache/repro."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
 
 
 class TestParser:
@@ -12,9 +19,36 @@ class TestParser:
         for name in FIGURES:
             assert name in out
 
+    def test_figures_natural_sorted(self, capsys):
+        assert main(["figures"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        names = [line.split()[0] for line in lines]
+        assert names == sorted_figures()
+        # natural order: fig9 before fig10, letters after digits
+        assert names.index("fig9") < names.index("fig10")
+        assert names[0] == "ext-ddio" and names[-1] == "sensitivity"
+
+    def test_sorted_figures_covers_registry(self):
+        assert set(sorted_figures()) == set(FIGURES)
+
     def test_unknown_figure(self, capsys):
         assert main(["figure", "fig99"]) == 2
         assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure_parser_defaults(self):
+        args = build_parser().parse_args(["figure", "fig8"])
+        assert not args.fast
+        assert args.jobs is None
+        assert not args.no_cache
+        assert args.cache_dir is None
+        assert args.duration is None
+        assert args.warmup is None
+
+    def test_suite_parser_defaults(self):
+        args = build_parser().parse_args(["suite", "--fast", "--jobs", "2"])
+        assert args.fast
+        assert args.jobs == 2
+        assert not args.no_cache
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -48,18 +82,107 @@ class TestFigureFast:
         assert main(["figure", "fig15", "--fast"]) == 0
         assert "Fig. 15" in capsys.readouterr().out
 
+    def test_fig15_fast_no_cache(self, capsys):
+        assert main(["figure", "fig15", "--fast", "--no-cache",
+                     "--jobs", "1"]) == 0
+        assert "Fig. 15" in capsys.readouterr().out
+
 
 class TestFigureRegistry:
     def test_every_entry_well_formed(self):
+        import inspect
         for name, entry in FIGURES.items():
-            description, full, fast = entry
-            assert isinstance(description, str) and description
-            assert callable(full) and callable(fast)
+            assert isinstance(entry, FigureEntry)
+            assert isinstance(entry.description, str) and entry.description
+            assert callable(entry.run) and callable(entry.format)
+            # fast kwargs must be real parameters of the run() signature
+            params = inspect.signature(entry.run).parameters
+            for key in entry.fast_kwargs:
+                assert key in params, f"{name}: bad fast kwarg {key!r}"
+            # every harness accepts a runner (the shared-pool contract)
+            assert "runner" in params, f"{name}: run() lacks runner="
 
     def test_covers_all_eval_figures(self):
         for n in (3, 4, 8, 9, 10, 11, 12, 13, 14, 15):
             assert f"fig{n}" in FIGURES
         assert "ext-ddio" in FIGURES
+
+
+class TestRunEntry:
+    """Override plumbing, exercised against stub harnesses."""
+
+    @staticmethod
+    def _entry(run):
+        return FigureEntry("stub", run, lambda result: f"<{result}>",
+                           dict(duration_s=1.0))
+
+    def test_duration_maps_to_duration_s(self):
+        from repro.cli import _run_entry
+        seen = {}
+
+        def run(*, duration_s=9.0, warmup_s=9.0, runner=None):
+            seen.update(duration_s=duration_s, warmup_s=warmup_s)
+            return "ok"
+
+        out = _run_entry(self._entry(run), fast=False, duration=2.5,
+                         warmup=0.5)
+        assert out == "<ok>"
+        assert seen == dict(duration_s=2.5, warmup_s=0.5)
+
+    def test_duration_falls_back_to_measure_s(self):
+        from repro.cli import _run_entry
+        seen = {}
+
+        def run(*, measure_s=9.0, runner=None):
+            seen.update(measure_s=measure_s)
+            return "ok"
+
+        _run_entry(FigureEntry("stub", run, str, {}), fast=False,
+                   duration=3.0)
+        assert seen == dict(measure_s=3.0)
+
+    def test_unsupported_override_warns_and_runs(self, capsys):
+        from repro.cli import _run_entry
+
+        def run(*, runner=None):
+            return "ok"
+
+        out = _run_entry(FigureEntry("stub", run, str, {}), fast=False,
+                         duration=3.0, warmup=1.0)
+        assert out == "ok"
+        err = capsys.readouterr().err
+        assert "--duration" in err and "--warmup" in err
+
+    def test_fast_kwargs_applied(self):
+        from repro.cli import _run_entry
+        seen = {}
+
+        def run(*, duration_s=9.0, runner=None):
+            seen.update(duration_s=duration_s)
+            return "ok"
+
+        _run_entry(self._entry(run), fast=True)
+        assert seen == dict(duration_s=1.0)
+
+
+class TestSuite:
+    def test_suite_runs_all_in_sorted_order(self, monkeypatch, capsys):
+        calls = []
+
+        def make(name):
+            def run(*, runner=None):
+                calls.append(name)
+                return name
+            return FigureEntry(f"stub {name}", run, str, {})
+
+        stub = {name: make(name) for name in ("fig10", "fig2", "ext-x")}
+        monkeypatch.setattr("repro.cli.FIGURES", stub)
+        assert main(["suite", "--fast", "--jobs", "1"]) == 0
+        assert calls == ["ext-x", "fig2", "fig10"]
+        out = capsys.readouterr().out
+        assert "=== fig2 — stub fig2 ===" in out
+        assert "suite: 3 figures" in out
+        assert "jobs=1" in out
 
 
 class TestTrace:

@@ -88,6 +88,28 @@ class TestStatsWindow:
                               busy_cycles=0.0)
         assert result.avg_latency_cycles == 0.0
 
+    def test_zero_length_window_is_all_zero(self):
+        # A window closed at the instant it was opened must not divide
+        # by zero even if ops were somehow recorded at that instant.
+        result = WindowResult(seconds=0.0, ops=5,
+                              latency_sum_cycles=500.0, busy_cycles=1.0)
+        assert result.ops_per_sec() == 0.0
+        assert result.avg_latency_cycles == 100.0
+        empty = WindowResult(seconds=0.0, ops=0, latency_sum_cycles=0.0,
+                             busy_cycles=0.0)
+        assert empty.ops_per_sec() == 0.0
+        assert empty.avg_latency_cycles == 0.0
+
+    def test_open_close_without_activity(self):
+        work = _FakeWorkload("w")
+        window = StatsWindow(work)
+        window.open(3.0)
+        result = window.close(3.0)
+        assert result.seconds == 0.0
+        assert result.ops == 0
+        assert result.ops_per_sec() == 0.0
+        assert result.avg_latency_cycles == 0.0
+
 
 class TestMetricsRecorder:
     def test_series_extraction(self):
