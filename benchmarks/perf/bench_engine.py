@@ -2,9 +2,18 @@
 both LLC backends with a metric-fingerprint cross-check.
 
 This is the acceptance benchmark for the batched access engine: the
-array backend must be materially faster than the scalar reference while
-producing *identical* recorded metrics (same DDIO counters, memory
-traffic, per-tenant IPC and LLC counts, deliveries and drops).
+array backend running the vectorized pipeline (``exec_mode="vector"``)
+must be materially faster than the per-packet reference — the scalar
+LLC backend driven by the scalar per-packet drain loop
+(``exec_mode="scalar"``), i.e. the pipeline as it existed before any
+batching — while producing *identical* recorded metrics (same DDIO
+counters, memory traffic, per-tenant IPC and LLC counts, deliveries
+and drops).
+
+``stages`` reports where the vectorized run spends its wall time,
+from the engine's self-profiling tracer: shares of the quantum loop
+attributed to traffic sampling + DMA, workload drains, metric
+recording, and controllers.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ import dataclasses
 import time
 
 from repro.experiments.common import leaky_dma_scenario
+from repro.obs import Tracer, tracing
 from repro.sim.config import TINY_PLATFORM, XEON_6140
 
 
@@ -27,14 +37,19 @@ def _fingerprint(metrics) -> list:
             for r in metrics.records]
 
 
-def _run_backend(backend: str, *, scale: str) -> "tuple[float, list, dict]":
+def _scenario(backend: str, scale: str):
     if scale == "tiny":
         spec = dataclasses.replace(TINY_PLATFORM, llc_backend=backend)
-        packet_size, duration = 512, 0.3
-    else:
-        spec = dataclasses.replace(XEON_6140, llc_backend=backend)
-        packet_size, duration = 1500, 2.0
+        return spec, 512, 0.3
+    spec = dataclasses.replace(XEON_6140, llc_backend=backend)
+    return spec, 1500, 2.0
+
+
+def _run_backend(backend: str, *, scale: str,
+                 exec_mode: str = "vector") -> "tuple[float, list, dict]":
+    spec, packet_size, duration = _scenario(backend, scale)
     scen = leaky_dma_scenario(packet_size=packet_size, spec=spec)
+    scen.sim.exec_mode = exec_mode
     t0 = time.perf_counter()
     metrics = scen.sim.run(duration)
     elapsed = time.perf_counter() - t0
@@ -42,10 +57,34 @@ def _run_backend(backend: str, *, scale: str) -> "tuple[float, list, dict]":
     return elapsed, _fingerprint(metrics), params
 
 
+def _stage_shares(scale: str) -> dict:
+    """Wall-time shares of the vectorized quantum loop's stages.
+
+    A separate self-profiled run (the tracer adds clock reads, so its
+    absolute time is not the headline number); shares are normalized
+    over the engine's four stage accumulators.
+    """
+    spec, packet_size, duration = _scenario("array", scale)
+    scen = leaky_dma_scenario(packet_size=packet_size, spec=spec)
+    tracer = Tracer(profiling=True)
+    with tracing(tracer):
+        scen.sim.run(duration)
+    prefix = "engine."
+    stage = {key[len(prefix):]: seconds
+             for key, seconds in tracer.profile.items()
+             if key.startswith(prefix)}
+    total = sum(stage.values())
+    if total <= 0.0:
+        return {}
+    return {name: seconds / total for name, seconds in sorted(stage.items())}
+
+
 def run_engine(scale: str = "default") -> dict:
-    """Time fig. 8 leaky-DMA on both backends; returns one result dict."""
+    """Time fig. 8 leaky-DMA, vectorized array backend vs. the scalar
+    per-packet reference; returns one result dict."""
     array_s, array_fp, params = _run_backend("array", scale=scale)
-    scalar_s, scalar_fp, _ = _run_backend("scalar", scale=scale)
+    scalar_s, scalar_fp, _ = _run_backend("scalar", scale=scale,
+                                          exec_mode="scalar")
     return {
         "scenario": "fig08_leaky_dma",
         **params,
@@ -54,4 +93,7 @@ def run_engine(scale: str = "default") -> dict:
         "speedup": scalar_s / array_s if array_s else 0.0,
         "metrics_match": scalar_fp == array_fp,
         "quanta": len(array_fp),
+        # Where the vectorized run spends its quantum loop (profiled
+        # separately; shares of traffic/workloads/record/controllers).
+        "stages": _stage_shares(scale),
     }

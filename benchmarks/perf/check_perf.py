@@ -1,0 +1,69 @@
+"""Perf regression gate: compare a freshly generated benchmark document
+against the committed ``BENCH_llc.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run.py --out /tmp/BENCH.json
+    python benchmarks/perf/check_perf.py /tmp/BENCH.json
+
+Fails (exit 1) when the fresh document's end-to-end engine speedup
+drops below ``--threshold`` (default 0.8) times the committed value —
+i.e. the vectorized pipeline lost more than 20% of its advantage over
+the scalar reference.  Speedup is a ratio of two runs on the same
+host, so it is comparable across machines in a way wall-clock is not;
+the two documents must still be at the same ``--scale``, because the
+tiny geometry has a different vector/scalar balance (exit 2 on a scale
+mismatch rather than a misleading comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_COMMITTED = os.path.join(_HERE, "BENCH_llc.json")
+
+
+def check(fresh: dict, committed: dict,
+          threshold: float = 0.8) -> "tuple[bool, str]":
+    """``(ok, message)`` for a fresh-vs-committed speedup comparison."""
+    if fresh.get("scale") != committed.get("scale"):
+        raise ValueError(
+            f"scale mismatch: fresh={fresh.get('scale')!r} vs "
+            f"committed={committed.get('scale')!r} — regenerate at the "
+            f"committed scale to compare")
+    fresh_speedup = fresh["engine"]["speedup"]
+    committed_speedup = committed["engine"]["speedup"]
+    floor = threshold * committed_speedup
+    message = (f"engine speedup: fresh {fresh_speedup:.2f}x vs committed "
+               f"{committed_speedup:.2f}x (floor {floor:.2f}x = "
+               f"{threshold:.0%} of committed)")
+    return fresh_speedup >= floor, message
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly generated benchmark JSON")
+    parser.add_argument("--committed", default=DEFAULT_COMMITTED,
+                        help="committed reference JSON (default: "
+                             "BENCH_llc.json next to this script)")
+    parser.add_argument("--threshold", type=float, default=0.8,
+                        help="minimum fresh/committed speedup ratio")
+    args = parser.parse_args(argv)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    with open(args.committed) as handle:
+        committed = json.load(handle)
+    try:
+        ok, message = check(fresh, committed, args.threshold)
+    except ValueError as error:
+        print(f"check_perf: {error}")
+        return 2
+    print(f"check_perf: {message}: {'OK' if ok else 'REGRESSION'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

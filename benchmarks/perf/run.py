@@ -72,6 +72,11 @@ def validate(doc: dict) -> None:
                 "array_s", "speedup", "metrics_match", "quanta"):
         assert key in engine, f"engine result missing {key}"
     assert engine["metrics_match"] is True, "backends diverged"
+    stages = engine.get("stages")
+    if stages is not None:  # absent in pre-breakdown documents (additive)
+        assert isinstance(stages, dict)
+        for share in stages.values():
+            assert 0.0 <= share <= 1.0
     obs = doc.get("obs")
     if obs is not None:  # absent in pre-obs documents (schema additive)
         for key in ("scenario", "baseline_s", "disabled_s", "enabled_s",
@@ -113,6 +118,9 @@ def main(argv=None) -> int:
           f"  array {engine['array_s']:.3f}s"
           f"  speedup {engine['speedup']:.2f}x"
           f"  metrics_match={engine['metrics_match']}")
+    for name, share in sorted(engine.get("stages", {}).items(),
+                              key=lambda kv: kv[1], reverse=True):
+        print(f"       stage {name:>12}: {share:.1%}")
     obs = doc["obs"]
     print(f"obs    {obs['scenario']}: baseline {obs['baseline_s']:.3f}s"
           f"  disabled {obs['disabled_overhead']:+.1%}"

@@ -119,13 +119,17 @@ class CacheGeometry:
         Returns ``(flat_set_index, tag)`` arrays, element-wise identical
         to calling :meth:`frame_index` per address.
         """
-        lines = np.asarray(addrs, dtype=np.int64) // self.line_size
+        # line_size is a power of two and addresses are non-negative, so
+        # the division is a shift; the flat index stays far below 2^63,
+        # so the uint64 view back to int64 is value-preserving and free.
+        lines = np.asarray(addrs, dtype=np.int64) >> (
+            self.line_size.bit_length() - 1)
         mixed = _mix64_batch(lines)
         slices = np.uint64(self.slices)
         slice_id = mixed % slices
         set_id = (mixed // slices) % np.uint64(self.sets_per_slice)
         index = (slice_id * np.uint64(self.sets_per_slice) + set_id)
-        return index.astype(np.int64), lines
+        return index.view(np.int64), lines
 
     def slice_of_batch(self, addrs: "np.ndarray") -> "np.ndarray":
         """Vectorized slice ids (first element of :meth:`locate`)."""

@@ -63,6 +63,10 @@ _STAMP_HI = 1 << 62
 #: on the array backend — NumPy kernel-launch overhead dominates under it.
 _VECTOR_MIN = 8
 
+#: Same-set follower groups smaller than this are applied with the
+#: per-access loop instead of further vectorized rounds.
+_SEQ_MAX = 24
+
 
 @lru_cache(maxsize=4096)
 def _ways_of_mask(mask: int) -> "tuple[int, ...]":
@@ -169,6 +173,45 @@ def _as_element_array(value, n: int, dtype) -> "np.ndarray":
     return arr
 
 
+def _scalar_or_array(value, n: int, dtype):
+    """Pass a scalar through; validate a per-element array's shape.
+
+    The vector engine branches on scalar-vs-array instead of
+    broadcasting — ``np.broadcast_to`` costs several microseconds per
+    call, which dominates small batches.
+    """
+    if isinstance(value, np.ndarray) and value.ndim:
+        if value.shape != (n,):
+            raise ValueError(f"per-element argument has shape "
+                             f"{value.shape}, expected ({n},)")
+        if value.dtype != dtype:
+            value = value.astype(dtype)
+        return value
+    arr = np.asarray(value, dtype=dtype)
+    if arr.ndim:
+        if arr.shape != (n,):
+            raise ValueError(f"per-element argument has shape {arr.shape}, "
+                             f"expected ({n},)")
+        return arr
+    return arr.item()
+
+
+def _pick(value, idx):
+    """Index a per-element array, or pass a scalar through."""
+    return value[idx] if isinstance(value, np.ndarray) else value
+
+
+def _element_list(value, n: int, dtype) -> list:
+    """Per-element python list of length ``n`` (scalar replicated)."""
+    arr = np.asarray(value, dtype=dtype)
+    if arr.ndim == 0:
+        return [arr.item()] * n
+    if arr.shape != (n,):
+        raise ValueError(f"per-element argument has shape {arr.shape}, "
+                         f"expected ({n},)")
+    return arr.tolist()
+
+
 class SlicedLLC:
     """Cacheline-accurate sliced LLC with per-way owner tracking.
 
@@ -213,6 +256,15 @@ class SlicedLLC:
             self._dirty = np.zeros((nsets, nways), dtype=bool)
             self._owner = np.zeros((nsets, nways), dtype=np.int64)
             self._way_range = np.arange(nways, dtype=np.int64)
+            # Flat views over the (sets, ways) state: the batch engine
+            # addresses cells as ``set * ways + way`` with single-index
+            # fancy operations, which are cheaper than index pairs.
+            self._nways = nways
+            self._tags_flat = self._tags.reshape(-1)
+            self._stamp_flat = self._stamp.reshape(-1)
+            self._dirty_flat = self._dirty.reshape(-1)
+            self._owner_flat = self._owner.reshape(-1)
+            self._invalid_key = _STAMP_LO + self._way_range
         self._clock = 0
         # Cheap deterministic LCG for the random policy (avoids numpy
         # overhead in the per-access hot path).
@@ -325,10 +377,10 @@ class SlicedLLC:
         """Reference batch path: per-access loop in vector order."""
         n = addrs.shape[0]
         out = _empty_batch(n)
-        mask = _as_element_array(mask, n, np.int64).tolist()
-        write = _as_element_array(write, n, bool).tolist()
-        owner = _as_element_array(owner, n, np.int64).tolist()
-        allocate = _as_element_array(allocate, n, bool).tolist()
+        mask = _element_list(mask, n, np.int64)
+        write = _element_list(write, n, bool)
+        owner = _element_list(owner, n, np.int64)
+        allocate = _element_list(allocate, n, bool)
         hit = out.hit
         fill = out.fill
         evicted = out.evicted
@@ -354,13 +406,41 @@ class SlicedLLC:
         n = addrs.shape[0]
         geom = self.geometry
         index, tag = geom.frame_index_batch(addrs)
-        clk = self._clock + 1 + np.arange(n, dtype=np.int64)
-        self._clock += n
-        mask = _as_element_array(mask, n, np.int64)
-        write = _as_element_array(write, n, bool)
-        owner = _as_element_array(owner, n, np.int64)
-        allocate = _as_element_array(allocate, n, bool)
-        out = _empty_batch(n)
+        clk0 = self._clock
+        self._clock = clk0 + n
+        clk = np.arange(clk0 + 1, clk0 + n + 1, dtype=np.int64)
+        mask = _scalar_or_array(mask, n, np.int64)
+        write = _scalar_or_array(write, n, bool)
+        owner = _scalar_or_array(owner, n, np.int64)
+        allocate = _scalar_or_array(allocate, n, bool)
+        ways = self._nways
+
+        # One snapshot lookup answers every access whose set has not
+        # been filled earlier in the batch: hits never modify the tag
+        # array, so if the whole batch hits we are done after updating
+        # recency, and otherwise the snapshot still resolves the first
+        # access to each set (the bulk of every realistic stream).
+        row_tags = self._tags[index]
+        eq = row_tags == tag[:, None]
+        hit0 = eq.any(axis=1)
+        if hit0.all():
+            out = _empty_batch(n)
+            slot = index * ways + eq.argmax(axis=1)
+            if n > 1:
+                # Duplicate (set, way) pairs take the latest stamp, as
+                # the scalar loop would leave them.
+                order = np.argsort(slot, kind="stable")
+                ss = slot[order]
+                last = np.empty(n, dtype=bool)
+                last[-1] = True
+                np.not_equal(ss[1:], ss[:-1], out=last[:-1])
+                keep = order[last]
+                self._stamp_flat[slot[keep]] = clk[keep]
+            else:
+                self._stamp_flat[slot] = clk
+            self._set_dirty(slot, write)
+            out.hit[:] = True
+            return out
 
         # Group by set: entries with rank r are the (r+1)-th access to
         # their set within the batch.  All rank-r entries touch distinct
@@ -368,32 +448,53 @@ class SlicedLLC:
         # rounds run in ascending rank, so same-set accesses apply in
         # vector order (cross-set order is irrelevant under LRU because
         # the pre-assigned clocks already encode batch position).  Once
-        # rounds shrink below the vectorization payoff — realistic
-        # streams concentrate almost everything in the first round or
-        # two — the tail is applied one access at a time.
+        # the same-set remainder shrinks below the vectorization payoff
+        # it is applied one access at a time.
         alloc_mask = mask & geom.full_mask
         order = np.argsort(index, kind="stable")
         sorted_index = index[order]
         first = np.empty(n, dtype=bool)
         first[0] = True
         np.not_equal(sorted_index[1:], sorted_index[:-1], out=first[1:])
+        out = _empty_batch(n)
         if first.all():
-            self._batch_round(order, index, tag, clk, alloc_mask, mask,
-                              write, owner, allocate, out)
+            self._apply_round(None, index, row_tags, eq, hit0, tag, clk,
+                              alloc_mask, mask, write, owner, allocate,
+                              out)
             return out
-        starts = np.flatnonzero(first)
-        group = np.cumsum(first) - 1
-        rank = np.arange(n, dtype=np.int64) - starts[group]
-        for r in range(int(rank.max()) + 1):
-            sel = order[rank == r]
-            if r > 0 and sel.size < 64:
-                self._apply_sequential(order[rank >= r].tolist(), index,
-                                       tag, clk, alloc_mask, mask, write,
-                                       owner, allocate, out)
+        sel0 = order[first]
+        self._apply_round(sel0, index[sel0], row_tags[sel0], eq[sel0],
+                          hit0[sel0], tag, clk, alloc_mask, mask, write,
+                          owner, allocate, out)
+        follow = ~first
+        rest = order[follow]
+        rank = (np.arange(n, dtype=np.int64)
+                - np.flatnonzero(first)[np.cumsum(first) - 1])[follow]
+        r = 1
+        while rest.size:
+            if rest.size < _SEQ_MAX:
+                self._apply_sequential(rest.tolist(), index, tag, clk,
+                                       alloc_mask, mask, write, owner,
+                                       allocate, out)
                 break
-            self._batch_round(sel, index, tag, clk, alloc_mask, mask,
+            head = rank == r
+            sel = rest[head]
+            self._apply_round(sel, index[sel], self._tags[index[sel]],
+                              None, None, tag, clk, alloc_mask, mask,
                               write, owner, allocate, out)
+            keep = ~head
+            rest = rest[keep]
+            rank = rank[keep]
+            r += 1
         return out
+
+    def _set_dirty(self, slot, write) -> None:
+        """Mark ``slot`` cells dirty where ``write`` (scalar-aware)."""
+        if isinstance(write, np.ndarray):
+            if write.any():
+                self._dirty_flat[slot[write]] = True
+        elif write:
+            self._dirty_flat[slot] = True
 
     def _apply_sequential(self, sel, index, tag, clk, alloc_mask, raw_mask,
                           write, owner, allocate, out) -> None:
@@ -413,15 +514,15 @@ class SlicedLLC:
                 way = -1
             if way >= 0:
                 stamp_m[row, way] = clk[i]
-                if write[i]:
+                if _pick(write, i):
                     dirty_m[row, way] = True
                 out.hit[i] = True
                 continue
-            if not allocate[i]:
+            if not _pick(allocate, i):
                 continue
-            m = int(alloc_mask[i])
+            m = int(_pick(alloc_mask, i))
             if m == 0:
-                if int(raw_mask[i]) == 0:
+                if int(_pick(raw_mask, i)) == 0:
                     raise ValueError("cannot allocate with an empty way mask")
                 raise ValueError("way mask selects no ways within geometry")
             allowed = _ways_of_mask(m)
@@ -437,7 +538,7 @@ class SlicedLLC:
                     victim = w
                     victim_stamp = stamps[w]
             evicted = row_tags[victim] != EMPTY
-            new_owner = int(owner[i])
+            new_owner = int(_pick(owner, i))
             out.fill[i] = True
             self.stat_fills += 1
             if evicted:
@@ -458,72 +559,139 @@ class SlicedLLC:
             occ[new_owner] = occ.get(new_owner, 0) + 1
             tags_m[row, victim] = tg
             stamp_m[row, victim] = clk[i]
-            dirty_m[row, victim] = write[i]
+            dirty_m[row, victim] = bool(_pick(write, i))
             owner_m[row, victim] = new_owner
 
-    def _batch_round(self, sel, index, tag, clk, alloc_mask, raw_mask, write,
-                     owner, allocate, out) -> None:
-        """Apply one conflict-free (distinct-set) group of accesses."""
-        rows = index[sel]
-        row_tags = self._tags[rows]                     # (m, ways) gather
-        eq = row_tags == tag[sel, None]
-        hit = eq.any(axis=1)
-        if hit.any():
-            hit_sel = sel[hit]
-            hit_rows = rows[hit]
-            hit_ways = eq.argmax(axis=1)[hit]
-            self._stamp[hit_rows, hit_ways] = clk[hit_sel]
-            hw = write[hit_sel]
-            if hw.any():
-                self._dirty[hit_rows[hw], hit_ways[hw]] = True
+    def _apply_round(self, sel, rows, row_tags, eq, hit, tag, clk,
+                     alloc_mask, raw_mask, write, owner, allocate,
+                     out) -> None:
+        """Apply one conflict-free (distinct-set) group of accesses.
+
+        ``sel`` holds the group's batch positions (``None`` meaning the
+        whole batch in position order); ``rows`` and ``row_tags`` are
+        the pre-gathered set indices and tag rows.  ``eq``/``hit``
+        carry the batch-entry snapshot lookup when it is still valid
+        (first access to each set); pass ``None`` to recompute against
+        current state (later rounds, after same-set fills).
+        """
+        ways = self._nways
+        m = rows.shape[0]
+        if eq is None:
+            eq = row_tags == tag[sel][:, None]
+            hit = eq.any(axis=1)
+        nhit = int(np.count_nonzero(hit))
+        if nhit:
+            way = eq.argmax(axis=1)
+            if nhit == m:
+                slot = rows * ways + way
+                self._stamp_flat[slot] = clk if sel is None else clk[sel]
+                self._set_dirty(slot, _pick(write, sel)
+                                if sel is not None else write)
+                if sel is None:
+                    out.hit[:] = True
+                else:
+                    out.hit[sel] = True
+                return
+            hit_sel = np.flatnonzero(hit) if sel is None else sel[hit]
+            slot = rows[hit] * ways + way[hit]
+            self._stamp_flat[slot] = clk[hit_sel]
+            self._set_dirty(slot, _pick(write, hit_sel))
             out.hit[hit_sel] = True
-        miss = ~hit & allocate[sel]
-        if not miss.any():
+        miss = ~hit
+        if isinstance(allocate, np.ndarray):
+            miss &= allocate if sel is None else allocate[sel]
+        elif not allocate:
             return
-        miss_sel = sel[miss]
-        miss_rows = rows[miss]
-        allowed = (alloc_mask[miss_sel, None] >> self._way_range) & 1 != 0
-        if not allowed.any(axis=1).all():
-            if (raw_mask[miss_sel] == 0).any():
-                raise ValueError("cannot allocate with an empty way mask")
-            raise ValueError("way mask selects no ways within geometry")
+        miss_sel = np.flatnonzero(miss) if sel is None else sel[miss]
+        k = miss_sel.shape[0]
+        if k == 0:
+            return
+        if k == m:
+            miss_rows = rows
+            mtags = row_tags
+        else:
+            miss_rows = rows[miss]
+            mtags = row_tags[miss]
+        amask = _pick(alloc_mask, miss_sel)
+        if isinstance(amask, np.ndarray):
+            a0 = amask[0]
+            uniform = bool((amask == a0).all())
+        else:
+            a0 = amask
+            uniform = True
+        if uniform:
+            a0 = int(a0)
+            if a0 == 0:
+                self._raise_mask_error(_pick(raw_mask, miss_sel))
+            # (ways,)-shaped row; ufunc broadcasting against the
+            # (k, ways) stamps below is free.
+            allowed = (a0 >> self._way_range) & 1 != 0
+        else:
+            allowed = (amask[:, None] >> self._way_range) & 1 != 0
+            if not allowed.any(axis=1).all():
+                self._raise_mask_error(_pick(raw_mask, miss_sel))
         # Victim selection key per way: invalid allowed ways sort first
         # (lowest way index wins), then LRU stamp among allowed ways;
         # argmin's first-match tie-break mirrors the scalar scan order.
         stamps = self._stamp[miss_rows]
-        invalid = row_tags[miss] == EMPTY
         key = np.where(allowed,
-                       np.where(invalid, _STAMP_LO + self._way_range, stamps),
+                       np.where(mtags == EMPTY, self._invalid_key, stamps),
                        _STAMP_HI)
         victim = key.argmin(axis=1)
-        take = np.arange(len(miss_rows))
-        victim_tags = row_tags[miss][take, victim]
+        fslot = miss_rows * ways + victim
+        victim_tags = mtags.reshape(-1)[np.arange(k, dtype=np.int64)
+                                        * ways + victim]
         evicted = victim_tags != EMPTY
-        writeback = evicted & self._dirty[miss_rows, victim]
-        victim_owner = self._owner[miss_rows, victim]
-        new_owner = owner[miss_sel]
-        self._tags[miss_rows, victim] = tag[miss_sel]
-        self._stamp[miss_rows, victim] = clk[miss_sel]
-        self._dirty[miss_rows, victim] = write[miss_sel]
-        self._owner[miss_rows, victim] = new_owner
+        dirty_flat = self._dirty_flat
+        writeback = evicted & dirty_flat[fslot]
+        victim_owner = self._owner_flat[fslot]
+        new_owner = _pick(owner, miss_sel)
+        self._tags_flat[fslot] = tag[miss_sel]
+        self._stamp_flat[fslot] = clk[miss_sel]
+        dirty_flat[fslot] = _pick(write, miss_sel)
+        self._owner_flat[fslot] = new_owner
         out.fill[miss_sel] = True
         out.evicted[miss_sel] = evicted
         out.writeback[miss_sel] = writeback
-        out.victim_owner[miss_sel[evicted]] = victim_owner[evicted]
+        ev_owner = victim_owner[evicted]
+        out.victim_owner[miss_sel[evicted]] = ev_owner
         n_evicted = int(np.count_nonzero(evicted))
-        self.stat_fills += len(miss_rows)
+        self.stat_fills += k
         self.stat_evictions += n_evicted
         self.stat_writebacks += int(np.count_nonzero(writeback))
         # Occupancy bookkeeping.
-        self._valid += len(miss_rows) - n_evicted
-        self._occ_update(new_owner, victim_owner[evicted])
+        self._valid += k - n_evicted
+        self._occ_update(new_owner, k, ev_owner)
 
-    def _occ_update(self, filled_owners, evicted_owners) -> None:
+    def _raise_mask_error(self, raw_masks) -> None:
+        empty = (bool((raw_masks == 0).any())
+                 if isinstance(raw_masks, np.ndarray) else raw_masks == 0)
+        if empty:
+            raise ValueError("cannot allocate with an empty way mask")
+        raise ValueError("way mask selects no ways within geometry")
+
+    def _occ_update(self, filled_owners, n_filled, evicted_owners) -> None:
         occ = self._occ
-        vals, counts = np.unique(filled_owners, return_counts=True)
-        for o, c in zip(vals.tolist(), counts.tolist()):
-            occ[o] = occ.get(o, 0) + c
+        if not isinstance(filled_owners, np.ndarray):
+            f0 = int(filled_owners)
+            occ[f0] = occ.get(f0, 0) + n_filled
+        else:
+            f0 = int(filled_owners[0])
+            if bool((filled_owners == f0).all()):
+                occ[f0] = occ.get(f0, 0) + n_filled
+            else:
+                vals, counts = np.unique(filled_owners, return_counts=True)
+                for o, c in zip(vals.tolist(), counts.tolist()):
+                    occ[o] = occ.get(o, 0) + c
         if evicted_owners.size:
+            e0 = int(evicted_owners[0])
+            if bool((evicted_owners == e0).all()):
+                left = occ[e0] - evicted_owners.shape[0]
+                if left:
+                    occ[e0] = left
+                else:
+                    del occ[e0]
+                return
             vals, counts = np.unique(evicted_owners, return_counts=True)
             for o, c in zip(vals.tolist(), counts.tolist()):
                 left = occ[o] - c

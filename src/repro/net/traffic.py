@@ -75,6 +75,28 @@ class TrafficSpec:
                            burstiness=self.burstiness)
 
 
+@dataclass(frozen=True)
+class TrafficQuantum:
+    """One quantum's arrivals for a single stream, pre-sampled.
+
+    ``offsets[sub] : offsets[sub + 1]`` slices ``flows``/``sizes`` down to
+    the packets arriving in sub-step ``sub``; the engine hands each slice
+    to :meth:`repro.pci.nic.Nic.dma_burst` whole, so traffic delivery does
+    no per-packet Python work.
+    """
+
+    offsets: "np.ndarray"   # (subquanta + 1,) int64, cumulative counts
+    flows: "np.ndarray"     # (total,) int64
+    sizes: "np.ndarray"     # (total,) int64
+
+    @property
+    def total(self) -> int:
+        return int(self.offsets[-1])
+
+    def counts(self) -> "np.ndarray":
+        return np.diff(self.offsets)
+
+
 class TrafficGen:
     """Draws per-interval packet counts and flow ids for one spec."""
 
@@ -82,13 +104,23 @@ class TrafficGen:
         self.spec = spec
         self._rng = rng
         self._carry = 0.0
-        self._weights = (zipf_weights(spec.n_flows, spec.zipf_theta)
-                         if spec.n_flows > 1 else None)
+        self._sampler = None
+        self._build_sampler()
+
+    def _build_sampler(self) -> None:
+        if self.spec.n_flows > 1:
+            # Cached-CDF sampler: draws are bit-identical to
+            # ``rng.choice(n, size, p=weights)`` without re-accumulating
+            # the weight vector on every draw.
+            from ..workloads.streams import ZipfSampler
+            self._sampler = ZipfSampler(
+                zipf_weights(self.spec.n_flows, self.spec.zipf_theta))
+        else:
+            self._sampler = None
 
     def set_spec(self, spec: TrafficSpec) -> None:
         self.spec = spec
-        self._weights = (zipf_weights(spec.n_flows, spec.zipf_theta)
-                         if spec.n_flows > 1 else None)
+        self._build_sampler()
 
     def packets(self, dt: float) -> int:
         """Number of packets arriving in an interval of ``dt`` seconds."""
@@ -110,10 +142,72 @@ class TrafficGen:
         """Flow ids for ``count`` packets, honouring the popularity skew."""
         if count == 0:
             return np.empty(0, dtype=np.int64)
-        if self._weights is None:
+        if self._sampler is None:
             return np.zeros(count, dtype=np.int64)
-        return self._rng.choice(len(self._weights), size=count,
-                                p=self._weights)
+        return self._sampler.draw(self._rng, count)
+
+    def sample_quantum(self, sub_dt: float, subquanta: int, start: float,
+                       phased: "PhasedTraffic | None" = None) -> TrafficQuantum:
+        """Sample one quantum of arrivals as a single array bundle.
+
+        Phase scripts are honoured at sub-step granularity exactly as the
+        per-interval path would: the spec in force for each sub-step is
+        ``phased.spec_at`` of that sub-step's start time.  Within a run of
+        sub-steps sharing one spec, the burstiness multipliers are drawn
+        as one batch and the flow ids as one draw — the carry chain is the
+        same arithmetic as :meth:`packets`, applied per sub-step.
+        """
+        if phased is None:
+            specs = [self.spec] * subquanta
+        else:
+            specs = []
+            for sub in range(subquanta):
+                spec = phased.spec_at(start + sub * sub_dt)
+                if spec is not self.spec:
+                    self.set_spec(spec)
+                specs.append(self.spec)
+        offsets = np.zeros(subquanta + 1, dtype=np.int64)
+        flows_parts: "list[np.ndarray]" = []
+        sizes_parts: "list[np.ndarray]" = []
+        begin = 0
+        while begin < subquanta:
+            spec = specs[begin]
+            end = begin + 1
+            while end < subquanta and specs[end] is spec:
+                end += 1
+            nsub = end - begin
+            base_mean = spec.pps * sub_dt
+            if spec.burstiness > 0:
+                sigma = spec.burstiness
+                factors = self._rng.lognormal(mean=-sigma * sigma / 2.0,
+                                              sigma=sigma, size=nsub)
+            else:
+                factors = None
+            carry = self._carry
+            segment_total = 0
+            for sub in range(nsub):
+                mean = base_mean
+                if factors is not None:
+                    mean *= factors[sub]
+                mean += carry
+                count = int(mean)
+                carry = mean - count
+                segment_total += count
+                offsets[begin + sub + 1] = offsets[begin + sub] + count
+            self._carry = carry
+            if spec.n_flows > 1:
+                flows_parts.append(self._sampler.draw(self._rng,
+                                                      segment_total))
+            else:
+                flows_parts.append(np.zeros(segment_total, dtype=np.int64))
+            sizes_parts.append(np.full(segment_total, spec.packet_size,
+                                       dtype=np.int64))
+            begin = end
+        flows = (flows_parts[0] if len(flows_parts) == 1
+                 else np.concatenate(flows_parts))
+        sizes = (sizes_parts[0] if len(sizes_parts) == 1
+                 else np.concatenate(sizes_parts))
+        return TrafficQuantum(offsets=offsets, flows=flows, sizes=sizes)
 
 
 @dataclass(frozen=True)

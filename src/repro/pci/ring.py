@@ -13,15 +13,20 @@ them — the "Leaky DMA" problem (paper Sec. III-A).  This emerges
 naturally here because each ring slot has a stable address that the DMA
 writes and the consumer later reads through the simulated LLC.
 
-The ring itself is a simple bounded FIFO of packet records; address
-generation for a slot is deterministic so producer and consumer touch
-identical cachelines.
+The ring stores its queue as structure-of-arrays circular buffers so
+producers and consumers can move whole bursts with array ops
+(:meth:`DescRing.post_batch` / :meth:`DescRing.peek_batch` /
+:meth:`DescRing.consume_batch`); the scalar :meth:`post` / :meth:`peek` /
+:meth:`consume` API is preserved on top of the same storage and is
+bit-for-bit equivalent.  Address generation for a slot is deterministic
+so producer and consumer touch identical cachelines.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
+
+import numpy as np
 
 #: Default ring depth used throughout the paper's evaluation (Sec. VI-A).
 DEFAULT_RING_ENTRIES = 1024
@@ -55,6 +60,10 @@ class DescRing:
     systems.  Virtio rings have no such indirection (``pool_factor=1``).
     """
 
+    __slots__ = ("entries", "base_addr", "mbuf_stride", "pool_factor",
+                 "enqueued", "dequeued", "dropped", "_mask", "_head",
+                 "_rd", "_count", "_size", "_flow", "_addr", "_arrival")
+
     def __init__(self, entries: int = DEFAULT_RING_ENTRIES, *,
                  base_addr: int, mbuf_stride: int = MBUF_STRIDE,
                  pool_factor: int = 1) -> None:
@@ -68,8 +77,18 @@ class DescRing:
         self.base_addr = base_addr
         self.mbuf_stride = mbuf_stride
         self.pool_factor = pool_factor
-        self._queue: "deque[PacketRecord]" = deque()
-        self._head = 0          # next slot index for an incoming packet
+        # SoA circular storage.  ``_rd`` is the monotonically increasing
+        # read counter; the queue occupies positions ``_rd .. _rd+_count``
+        # (mod entries).  ``_head`` counts accepted posts only — it is the
+        # slot index that feeds the deterministic buffer-address recycling.
+        self._mask = entries - 1
+        self._head = 0
+        self._rd = 0
+        self._count = 0
+        self._size = np.zeros(entries, dtype=np.int64)
+        self._flow = np.zeros(entries, dtype=np.int64)
+        self._addr = np.zeros(entries, dtype=np.int64)
+        self._arrival = np.zeros(entries, dtype=np.float64)
         self.enqueued = 0
         self.dequeued = 0
         self.dropped = 0
@@ -77,11 +96,11 @@ class DescRing:
     # ------------------------------------------------------------------
     @property
     def occupancy(self) -> int:
-        return len(self._queue)
+        return self._count
 
     @property
     def space(self) -> int:
-        return self.entries - len(self._queue)
+        return self.entries - self._count
 
     @property
     def pool_slots(self) -> int:
@@ -98,25 +117,82 @@ class DescRing:
     # ------------------------------------------------------------------
     def post(self, size: int, flow_id: int = 0, now: float = 0.0) -> "PacketRecord | None":
         """Enqueue one inbound packet; returns its record, or None on drop."""
-        if len(self._queue) >= self.entries:
+        if self._count >= self.entries:
             self.dropped += 1
             return None
-        record = PacketRecord(size=size, flow_id=flow_id,
-                              buf_addr=self.slot_addr(self._head), arrival=now)
+        addr = self.slot_addr(self._head)
+        idx = (self._rd + self._count) & self._mask
+        self._size[idx] = size
+        self._flow[idx] = flow_id
+        self._addr[idx] = addr
+        self._arrival[idx] = now
         self._head += 1
-        self._queue.append(record)
+        self._count += 1
         self.enqueued += 1
-        return record
+        return PacketRecord(size=size, flow_id=flow_id, buf_addr=addr,
+                            arrival=now)
+
+    def post_batch(self, sizes, flow_ids, now=0.0) -> "np.ndarray":
+        """Enqueue a burst; returns the buffer addresses of the packets
+        accepted (always a prefix of the burst — nothing consumes the
+        ring concurrently, so once it is full the rest of the burst
+        drops).  Drop/occupancy accounting is identical to calling
+        :meth:`post` per packet.  ``now`` may be a scalar or a per-packet
+        array of arrival stamps.
+        """
+        n = len(sizes)
+        accepted = min(n, self.entries - self._count)
+        if accepted < n:
+            self.dropped += n - accepted
+        if accepted == 0:
+            return np.empty(0, dtype=np.int64)
+        slots = self._head + np.arange(accepted, dtype=np.int64)
+        addrs = self.base_addr + (slots % self.pool_slots) * self.mbuf_stride
+        idx = (self._rd + self._count + np.arange(accepted)) & self._mask
+        self._size[idx] = sizes[:accepted]
+        self._flow[idx] = flow_ids[:accepted]
+        self._addr[idx] = addrs
+        self._arrival[idx] = now if np.isscalar(now) else now[:accepted]
+        self._head += accepted
+        self._count += accepted
+        self.enqueued += accepted
+        return addrs
 
     def peek(self) -> "PacketRecord | None":
-        return self._queue[0] if self._queue else None
+        if not self._count:
+            return None
+        idx = self._rd & self._mask
+        return PacketRecord(size=int(self._size[idx]),
+                            flow_id=int(self._flow[idx]),
+                            buf_addr=int(self._addr[idx]),
+                            arrival=float(self._arrival[idx]))
+
+    def peek_batch(self, limit: "int | None" = None):
+        """Oldest ``limit`` packets (default: all) as parallel arrays
+        ``(sizes, flows, buf_addrs, arrivals)`` without consuming them."""
+        k = self._count if limit is None else min(limit, self._count)
+        idx = (self._rd + np.arange(k)) & self._mask
+        return (self._size[idx], self._flow[idx], self._addr[idx],
+                self._arrival[idx])
 
     def consume(self) -> "PacketRecord | None":
         """Dequeue the oldest packet (consumer side)."""
-        if not self._queue:
+        record = self.peek()
+        if record is None:
             return None
+        self._rd += 1
+        self._count -= 1
         self.dequeued += 1
-        return self._queue.popleft()
+        return record
+
+    def consume_batch(self, k: int) -> None:
+        """Dequeue the ``k`` oldest packets (the caller already holds
+        their fields from :meth:`peek_batch`)."""
+        if k > self._count:
+            raise ValueError(f"consume_batch({k}) with {self._count} queued")
+        self._rd += k
+        self._count -= k
+        self.dequeued += k
 
     def reset_counters(self) -> None:
         self.enqueued = self.dequeued = self.dropped = 0

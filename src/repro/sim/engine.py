@@ -67,10 +67,25 @@ class _Event:
     action: "Callable[[], None]" = field(compare=False)
 
 
-class Simulation:
-    """Builds and runs one multi-tenant scenario on a platform."""
+#: Valid workload execution modes (see :attr:`Workload.exec_mode`):
+#: ``vector`` is the fully array-native pipeline, ``batch`` the chunked
+#: per-packet-planned drain, ``scalar`` the per-packet reference loop.
+EXEC_MODES = ("vector", "batch", "scalar")
 
-    def __init__(self, platform: Platform, *, seed: int = 2021) -> None:
+
+class Simulation:
+    """Builds and runs one multi-tenant scenario on a platform.
+
+    ``exec_mode`` selects how workloads execute each sub-quantum; all
+    modes simulate the same machine and are kept equivalent by the
+    engine-level equivalence suite (``tests/test_engine_batch_equiv``).
+    """
+
+    def __init__(self, platform: Platform, *, seed: int = 2021,
+                 exec_mode: str = "vector") -> None:
+        if exec_mode not in EXEC_MODES:
+            raise ValueError(f"exec_mode must be one of {EXEC_MODES}")
+        self.exec_mode = exec_mode
         self.platform = platform
         self.bindings: "list[TenantBinding]" = []
         self.traffic: "list[TrafficBinding]" = []
@@ -136,6 +151,8 @@ class Simulation:
     def run(self, duration_s: float) -> MetricsRecorder:
         """Advance the simulation by ``duration_s`` simulated seconds."""
         spec = self.platform.spec
+        for binding in self.bindings:
+            binding.workload.exec_mode = self.exec_mode
         if self.now == 0.0:
             for controller in self.controllers:
                 controller.on_start(0.0)
@@ -160,14 +177,25 @@ class Simulation:
             binding.workload.begin_quantum(self.now)
         sub_dt = dt / spec.subquanta
         budget = spec.cycles_per_quantum / spec.subquanta
+        bundles = self._sample_traffic(sub_dt, spec.subquanta)
+        platform = self.platform
+        bindings = self.bindings
         for sub in range(spec.subquanta):
             sub_now = self.now + sub * sub_dt
-            self._deliver_traffic(sub_dt, sub_now)
-            for binding in self.bindings:
+            for binding, bundle in bundles:
+                lo = bundle.offsets[sub]
+                hi = bundle.offsets[sub + 1]
+                if hi > lo:
+                    binding.nic.dma_burst(
+                        binding.vf, bundle.sizes[lo:hi],
+                        bundle.flows[lo:hi], platform.llc,
+                        platform.ddio.mask, platform.mem,
+                        platform.uncore, sub_now, tracer=tracer)
+            for binding in bindings:
                 binding.workload.run(budget, sub_now)
-        window_bytes = self.platform.mem.end_window()
+        window_bytes = platform.mem.end_window()
         self.now += dt
-        self._record_quantum(window_bytes)
+        self._record_quantum(window_bytes, tracer)
         self._run_controllers()
 
     def _run_quantum_traced(self, tracer, dt: float) -> None:
@@ -185,11 +213,23 @@ class Simulation:
             binding.workload.begin_quantum(self.now)
         sub_dt = dt / spec.subquanta
         budget = spec.cycles_per_quantum / spec.subquanta
-        traffic_s = workload_s = 0.0
+        t1 = clock()
+        bundles = self._sample_traffic(sub_dt, spec.subquanta)
+        traffic_s = clock() - t1
+        workload_s = 0.0
+        platform = self.platform
         for sub in range(spec.subquanta):
             sub_now = self.now + sub * sub_dt
             t1 = clock()
-            self._deliver_traffic(sub_dt, sub_now)
+            for binding, bundle in bundles:
+                lo = bundle.offsets[sub]
+                hi = bundle.offsets[sub + 1]
+                if hi > lo:
+                    binding.nic.dma_burst(
+                        binding.vf, bundle.sizes[lo:hi],
+                        bundle.flows[lo:hi], platform.llc,
+                        platform.ddio.mask, platform.mem,
+                        platform.uncore, sub_now, tracer=tracer)
             t2 = clock()
             for binding in self.bindings:
                 binding.workload.run(budget, sub_now)
@@ -198,7 +238,7 @@ class Simulation:
         window_bytes = self.platform.mem.end_window()
         self.now += dt
         t3 = clock()
-        self._record_quantum(window_bytes)
+        self._record_quantum(window_bytes, tracer)
         t4 = clock()
         self._run_controllers()
         t5 = clock()
@@ -212,22 +252,14 @@ class Simulation:
         while self._events and self._events[0].time <= self.now + 1e-12:
             heapq.heappop(self._events).action()
 
-    def _deliver_traffic(self, dt: float, now: float) -> None:
-        platform = self.platform
-        for binding in self.traffic:
-            if binding.phased is not None:
-                spec = binding.phased.spec_at(now)
-                if spec is not binding.gen.spec:
-                    binding.gen.set_spec(spec)
-            count = binding.gen.packets(dt)
-            if count == 0:
-                continue
-            flows = binding.gen.flow_ids(count)
-            size = binding.gen.spec.packet_size
-            binding.nic.dma_burst(binding.vf, [size] * count,
-                                  flows.tolist(), platform.llc,
-                                  platform.ddio.mask, platform.mem,
-                                  platform.uncore, now)
+    def _sample_traffic(self, sub_dt: float, subquanta: int):
+        """Pre-sample every stream's arrivals for the coming quantum as
+        one array bundle per stream (phase scripts are honoured at
+        sub-step granularity inside ``sample_quantum``)."""
+        return [(binding,
+                 binding.gen.sample_quantum(sub_dt, subquanta, self.now,
+                                            binding.phased))
+                for binding in self.traffic]
 
     def _run_controllers(self) -> None:
         for i, controller in enumerate(self.controllers):
@@ -250,7 +282,10 @@ class Simulation:
             self._vf_last[traffic.vf.name] = (traffic.vf.delivered,
                                               traffic.vf.drops)
 
-    def _record_quantum(self, window_bytes: "tuple[int, int]") -> None:
+    def _record_quantum(self, window_bytes: "tuple[int, int]",
+                        tracer=None) -> None:
+        if tracer is None:
+            tracer = current_tracer()
         tenants: "dict[str, TenantSnapshot]" = {}
         for binding in self.bindings:
             name = binding.tenant.name
@@ -283,7 +318,6 @@ class Simulation:
             record.vf_dropped[name] = traffic.vf.drops - last[1]
             self._vf_last[name] = (traffic.vf.delivered, traffic.vf.drops)
         self.metrics.append(record)
-        tracer = current_tracer()
         if tracer.enabled:
             self._trace_quantum(tracer, record)
 

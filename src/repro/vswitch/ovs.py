@@ -17,9 +17,11 @@ counters, CPP (cycles per packet) from :attr:`cycles_per_packet`.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..net.packet import lines_per_packet
 from ..pci.ring import DescRing, PacketRecord
-from ..workloads.base import AccessPlan, CorePort
+from ..workloads.base import AccessPlan, CorePort, VectorPlan
 from ..workloads.netbase import BUFFER_MLP, RingConsumer
 from .flowtable import MEGAFLOW_CYCLES, MEGAFLOW_PROBES, FlowTables
 
@@ -57,6 +59,20 @@ class OvsDataplane(RingConsumer):
         self.forwarded = 0
         self.output_drops = 0
         self._consumed_from = 0  # ring index of the packet in flight
+        # Destination rings deduplicated (routes may share a ring), with
+        # per-source-ring id vectors for array routing.
+        self._dest_rings: "list[DescRing]" = []
+        dest_id = {}
+        self._route_ids = {}
+        for index, dests in sorted(self.routes.items()):
+            ids = []
+            for dest in dests:
+                key = id(dest)
+                if key not in dest_id:
+                    dest_id[key] = len(self._dest_rings)
+                    self._dest_rings.append(dest)
+                ids.append(dest_id[key])
+            self._route_ids[index] = np.asarray(ids, dtype=np.int64)
 
     def on_bind(self) -> None:
         self.tables = FlowTables(self.region_base,
@@ -121,11 +137,74 @@ class OvsDataplane(RingConsumer):
         copy = lines_per_packet(record.size) * miss_cycles / BUFFER_MLP
         return OVS_CYCLES + lookup + copy
 
+    supports_vector = True
+
+    def plan_chunk(self, plan: VectorPlan, port: CorePort, pkts, sizes,
+                   flows, addrs, arrivals, rings, now):
+        k = pkts.shape[0]
+        hit, lookup_fixed = self.tables.lookup_chunk(plan, flows, pkts)
+        fixed = OVS_CYCLES + lookup_fixed
+        nlines = -(-sizes // 64)
+        ndest = len(self._dest_rings)
+        if ndest == 1:
+            # Every route lands on the same ring: forward the whole
+            # chunk in order without building a destination vector.
+            self._forward(plan, self._dest_rings[0], pkts, sizes, flows,
+                          arrivals, nlines)
+            return OVS_INSTRUCTIONS * k, fixed
+        dest = np.empty(k, dtype=np.int64)
+        if rings is None:
+            ids = self._route_ids[0]
+            dest[:] = ids[0] if ids.shape[0] == 1 \
+                else ids[flows % ids.shape[0]]
+        else:
+            for index in range(len(self.rings)):
+                mask = rings == index
+                if not mask.any():
+                    continue
+                ids = self._route_ids[index]
+                dest[mask] = ids[0] if ids.shape[0] == 1 \
+                    else ids[flows[mask] % ids.shape[0]]
+        # Forward per destination ring: a ring's state depends only on
+        # the posts it receives, and those happen in chunk order here,
+        # so drops and buffer addresses match the per-packet path.
+        for ring_id in range(ndest):
+            where = np.nonzero(dest == ring_id)[0]
+            if not where.shape[0]:
+                continue
+            self._forward(plan, self._dest_rings[ring_id], where,
+                          sizes[where], flows[where], arrivals[where],
+                          nlines[where])
+        return OVS_INSTRUCTIONS * k, fixed
+
+    def _forward(self, plan, ring, where, sizes, flows, arrivals,
+                 nlines) -> None:
+        """Post one destination ring's packets and plan the copies."""
+        out_addrs = ring.post_batch(sizes, flows, arrivals)
+        accepted = out_addrs.shape[0]
+        if accepted < where.shape[0]:
+            self.output_drops += where.shape[0] - accepted
+        if accepted:
+            self.forwarded += accepted
+            nl = nlines[:accepted]
+            c0 = int(nl[0])
+            plan.add_batch(out_addrs, c0 if bool((nl == c0).all()) else nl,
+                           pkts=where[:accepted], rank=6, write=True,
+                           mlp=BUFFER_MLP)
+
+    def worst_cost_vec(self, sizes, nlines, miss_cycles):
+        lookup = (2 + MEGAFLOW_PROBES) * miss_cycles + MEGAFLOW_CYCLES
+        return OVS_CYCLES + lookup + nlines * miss_cycles / BUFFER_MLP
+
     def transmit(self, port: CorePort, record: PacketRecord) -> None:
         """Forwarding replaces Tx; nothing leaves via the switch here."""
 
     def plan_transmit(self, plan: AccessPlan, record: PacketRecord,
                       pkt: int) -> None:
+        """Forwarding replaces Tx (see :meth:`transmit`)."""
+
+    def plan_transmit_chunk(self, plan: VectorPlan, pkts, sizes, addrs,
+                            nlines) -> None:
         """Forwarding replaces Tx (see :meth:`transmit`)."""
 
     # -- reporting ---------------------------------------------------------

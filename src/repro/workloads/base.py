@@ -152,14 +152,23 @@ class CorePort:
         if flat is None:
             return np.zeros(npackets)
         addrs, write, mlp_inv, device, pkt = flat
-        core = ~device
-        out = self._llc.access_batch(addrs, np.where(core, self._mask, 0),
-                                     write=write, owner=self.owner,
-                                     allocate=core)
-        hit = out.hit
+        # The way mask only governs fills and device lines never
+        # allocate, so the core mask can be passed as a scalar for the
+        # whole batch — bit-identical to a per-line masked vector.
         block = self.block
-        block.llc_references += int(np.count_nonzero(core))
-        block.llc_misses += int(np.count_nonzero(core & ~hit))
+        if device is None:
+            out = self._llc.access_batch(addrs, self._mask, write=write,
+                                         owner=self.owner)
+            hit = out.hit
+            block.llc_references += addrs.shape[0]
+            block.llc_misses += out.misses
+        else:
+            core = ~device
+            out = self._llc.access_batch(addrs, self._mask, write=write,
+                                         owner=self.owner, allocate=core)
+            hit = out.hit
+            block.llc_references += int(np.count_nonzero(core))
+            block.llc_misses += int(np.count_nonzero(core & ~hit))
         miss_total = out.misses
         if miss_total:
             self._mem.add_read(self._line * miss_total)
@@ -168,7 +177,8 @@ class CorePort:
             self._mem.add_write(self._line * writebacks)
         lat = np.where(hit, LLC_HIT_CYCLES,
                        LLC_HIT_CYCLES + self._dram_cycles) * mlp_inv
-        lat[device] = 0.0
+        if device is not None:
+            lat[device] = 0.0
         return np.bincount(pkt, weights=lat, minlength=npackets)
 
     def charge(self, instructions: float, cycles: float) -> None:
@@ -241,9 +251,126 @@ class AccessPlan:
                                  count)
         write = np.repeat(np.asarray(self._write, dtype=bool), count)
         mlp_inv = np.repeat(np.asarray(self._mlp_inv), count)
-        device = np.repeat(np.asarray(self._device, dtype=bool), count)
+        device = (np.repeat(np.asarray(self._device, dtype=bool), count)
+                  if any(self._device) else None)
         pkt = np.repeat(np.asarray(self._pkt, dtype=np.int64), count)
         return addrs, write, mlp_inv, device, pkt
+
+
+def seq_accumulate(initial: float, values: "np.ndarray") -> float:
+    """Left-to-right sum of ``values`` onto ``initial``.
+
+    ``np.cumsum`` accumulates sequentially, so this reproduces a scalar
+    ``acc += v`` loop bit-for-bit — which keeps the vectorized drains'
+    cycle accounting exactly equal to the per-packet reference paths
+    (``np.sum`` pairs terms and rounds differently).
+    """
+    tmp = np.empty(values.shape[0] + 1)
+    tmp[0] = initial
+    tmp[1:] = values
+    return float(tmp.cumsum()[-1])
+
+
+class VectorPlan:
+    """Array-native builder for a batched memory-access sequence.
+
+    The vectorized drain builds one plan per chunk from whole-chunk
+    arrays: each :meth:`add_batch` call appends one *stage* — a segment
+    per packet, all sharing a (write, mlp, device) profile and a stage
+    ``rank``.  Materialization orders lines packet-major, then by rank,
+    then insertion order — exactly the per-packet interleave the scalar
+    loop (buffer lines, app stages in order, transmit) would issue, so
+    :meth:`CorePort.run_plan` sees the same line stream as an
+    :class:`AccessPlan` built packet by packet.
+
+    Ranks must stay below :data:`VectorPlan.MAX_RANK` (the sort key packs
+    ``pkt * MAX_RANK + rank`` into one int64 argsort).
+    """
+
+    MAX_RANK = 128
+
+    __slots__ = ("_parts",)
+
+    def __init__(self) -> None:
+        # (rank, bases, counts, stride, write, mlp_inv, device, pkts)
+        self._parts: "list[tuple]" = []
+
+    def add_batch(self, bases, counts, *, pkts, rank: int,
+                  stride: int = 64, write: bool = False, mlp: float = 1.0,
+                  device: bool = False) -> None:
+        """Append one stage: per packet ``p`` in ``pkts``, ``counts[p]``
+        lines starting at ``bases[p]``.  ``counts`` may be a scalar."""
+        self._parts.append((rank, bases, counts, stride, write,
+                            0.0 if device else 1.0 / mlp, device, pkts))
+
+    def materialize(self):
+        """Flatten stages to per-line arrays ordered (pkt, rank,
+        insertion); same return contract as :meth:`AccessPlan.materialize`.
+        """
+        if not self._parts:
+            return None
+        addr_parts = []
+        pkt_parts = []
+        lens = []
+        ranks = []
+        writes = []
+        mlps = []
+        devs = []
+        for rank, bases, counts, stride, write, mlp_inv, device, pkts \
+                in self._parts:
+            bases = np.asarray(bases, dtype=np.int64)
+            if isinstance(counts, np.ndarray):
+                total = int(counts.sum())
+                if total == 0:
+                    continue
+                starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                within = np.arange(total, dtype=np.int64) \
+                    - np.repeat(starts, counts)
+                addrs = np.repeat(bases, counts) + within * stride
+                pkt = np.repeat(pkts, counts)
+            elif counts == 1:
+                total = bases.shape[0]
+                if total == 0:
+                    continue
+                addrs = bases
+                pkt = np.asarray(pkts, dtype=np.int64)
+            else:
+                m = bases.shape[0]
+                total = m * counts
+                if total == 0:
+                    continue
+                addrs = (bases[:, None]
+                         + np.arange(counts, dtype=np.int64) * stride).ravel()
+                pkt = np.repeat(pkts, counts)
+            addr_parts.append(addrs)
+            pkt_parts.append(pkt)
+            lens.append(total)
+            ranks.append(rank)
+            writes.append(write)
+            mlps.append(mlp_inv)
+            devs.append(device)
+        if not addr_parts:
+            return None
+        if len(addr_parts) == 1:
+            # Single stage: already packet-major and rank-uniform.
+            total = lens[0]
+            return (addr_parts[0], np.full(total, writes[0], dtype=bool),
+                    np.full(total, mlps[0]),
+                    np.full(total, True, dtype=bool) if devs[0] else None,
+                    pkt_parts[0])
+        # Per-line stage metadata expands from one small per-stage array
+        # per field (cheaper than a full-length fill per stage).
+        lens = np.asarray(lens, dtype=np.int64)
+        addrs = np.concatenate(addr_parts)
+        pkt = np.concatenate(pkt_parts)
+        rank = np.repeat(np.asarray(ranks, dtype=np.int64), lens)
+        order = np.argsort(pkt * self.MAX_RANK + rank, kind="stable")
+        return (addrs[order],
+                np.repeat(np.asarray(writes, dtype=bool), lens)[order],
+                np.repeat(np.asarray(mlps), lens)[order],
+                np.repeat(np.asarray(devs, dtype=bool), lens)[order]
+                if any(devs) else None,
+                pkt[order])
 
 
 @dataclass
@@ -282,6 +409,13 @@ class Workload(ABC):
 
     #: Modelled per-core L2 capacity (Table I: 1 MB).
     l2_bytes: int = 1 << 20
+
+    #: Execution mode for the hot loop: ``"vector"`` (whole-chunk array
+    #: plans, the default), ``"batch"`` (per-packet plan building executed
+    #: as LLC batches), or ``"scalar"`` (the per-access reference loop).
+    #: All three produce identical simulation results; the engine
+    #: propagates its own mode here at run time.
+    exec_mode: str = "vector"
 
     def __init__(self, name: str) -> None:
         self.name = name

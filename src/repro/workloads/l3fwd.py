@@ -10,8 +10,10 @@ shallow Rx rings overflow under small-packet traffic.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..pci.ring import DescRing, PacketRecord
-from .base import AccessPlan, CorePort
+from .base import AccessPlan, CorePort, VectorPlan
 from .netbase import RingConsumer
 
 #: Header parse + hash + route update per packet.
@@ -64,4 +66,16 @@ class L3Fwd(RingConsumer):
 
     def worst_cost_cycles(self, record: PacketRecord,
                           miss_cycles: float) -> float:
+        return L3FWD_CYCLES + miss_cycles
+
+    supports_vector = True
+
+    def plan_chunk(self, plan: VectorPlan, port: CorePort, pkts, sizes,
+                   flows, addrs, arrivals, rings, now):
+        k = pkts.shape[0]
+        entries = self.region_base + (flows % self.n_flows) * FLOW_ENTRY_BYTES
+        plan.add_batch(entries, 1, pkts=pkts, rank=1)
+        return L3FWD_INSTRUCTIONS * k, np.full(k, L3FWD_CYCLES)
+
+    def worst_cost_vec(self, sizes, nlines, miss_cycles):
         return L3FWD_CYCLES + miss_cycles

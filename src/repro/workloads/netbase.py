@@ -18,7 +18,8 @@ import numpy as np
 
 from ..net.packet import lines_per_packet
 from ..pci.ring import DescRing, PacketRecord
-from .base import AccessPlan, CorePort, LLC_HIT_CYCLES, Workload
+from .base import (AccessPlan, CorePort, LLC_HIT_CYCLES, VectorPlan,
+                   Workload, seq_accumulate)
 
 #: Cycles burned per empty poll of a ring (tight DPDK rx_burst loop).
 EMPTY_POLL_CYCLES = 40.0
@@ -39,6 +40,9 @@ BUFFER_MLP = 8.0
 
 #: Maximum packets per batched drain chunk (bounds plan array sizes).
 CHUNK_PACKETS = 256
+
+#: Shared 0..CHUNK_PACKETS-1 ramp; chunks slice read-only views of it.
+_PKT_ARANGE = np.arange(CHUNK_PACKETS, dtype=np.int64)
 
 
 class RingConsumer(Workload):
@@ -89,6 +93,14 @@ class RingConsumer(Workload):
     #: implementing :meth:`plan_packet` / :meth:`worst_cost_cycles`.
     batchable = False
 
+    #: Batchable subclasses whose per-chunk planning is itself expressible
+    #: with array ops opt in to the fully vectorized drain by setting this
+    #: True and implementing :meth:`plan_chunk` / :meth:`worst_cost_vec`.
+    supports_vector = False
+
+    #: Plan rank used for the Tx device reads (runs after all app stages).
+    TX_RANK = VectorPlan.MAX_RANK - 1
+
     def packet_cost(self, port: CorePort, record: PacketRecord,
                     now: float) -> "tuple[float, float]":
         """App-specific work for one packet: ``(instructions, cycles)``.
@@ -115,6 +127,28 @@ class RingConsumer(Workload):
         missed (``miss_cycles`` = LLC hit + current DRAM penalty)."""
         raise NotImplementedError
 
+    def plan_chunk(self, plan: VectorPlan, port: CorePort,
+                   pkts: "np.ndarray", sizes: "np.ndarray",
+                   flows: "np.ndarray", addrs: "np.ndarray",
+                   arrivals: "np.ndarray", rings: "np.ndarray | None",
+                   now: float) -> "tuple[float, np.ndarray]":
+        """Vectorized twin of :meth:`plan_packet` for a whole chunk.
+
+        ``pkts`` is ``arange(k)``; ``rings`` is the per-packet source ring
+        index, or None when the workload polls a single ring.  Append the
+        chunk's app accesses to ``plan`` (buffer reads are already staged
+        at rank 0) and return ``(instructions_total, fixed_cycles)`` with
+        ``fixed_cycles`` a per-packet float array.
+        """
+        raise NotImplementedError
+
+    def worst_cost_vec(self, sizes: "np.ndarray", nlines: "np.ndarray",
+                       miss_cycles: float):
+        """Vectorized twin of :meth:`worst_cost_cycles`: per-packet upper
+        bound (array, or scalar to broadcast) using the *same* float
+        expression so the chunk boundaries match the batched drain."""
+        raise NotImplementedError
+
     def transmit(self, port: CorePort, record: PacketRecord) -> None:
         """Default Tx: NIC reads the buffer lines out of LLC/DRAM."""
         line = 64
@@ -131,6 +165,15 @@ class RingConsumer(Workload):
         plan.add_device(record.buf_addr, lines_per_packet(record.size),
                         pkt=pkt)
         self.tx_bytes += record.size
+
+    def plan_transmit_chunk(self, plan: VectorPlan, pkts: "np.ndarray",
+                            sizes: "np.ndarray", addrs: "np.ndarray",
+                            nlines) -> None:
+        """Vectorized twin of :meth:`plan_transmit` for a whole chunk
+        (``nlines`` is per-packet buffer line counts, scalar or array)."""
+        plan.add_batch(addrs, nlines, pkts=pkts, rank=self.TX_RANK,
+                       device=True)
+        self.tx_bytes += int(sizes.sum())
 
     # -- poll loop ---------------------------------------------------------
     def _next_packet(self) -> "PacketRecord | None":
@@ -174,8 +217,11 @@ class RingConsumer(Workload):
             # Scheduled out: the ring keeps filling while we're away.
             port.charge(0, budget_cycles)
             return
-        if self.batchable:
-            self._run_core_batched(port, budget_cycles, now)
+        if self.batchable and self.exec_mode != "scalar":
+            if self.exec_mode == "vector" and self.supports_vector:
+                self._run_core_vector(port, budget_cycles, now)
+            else:
+                self._run_core_batched(port, budget_cycles, now)
             return
         used = 0.0
         instructions = 0.0
@@ -288,6 +334,135 @@ class RingConsumer(Workload):
                 queue_cycles = max(0.0, (now - record.arrival) * freq_scale)
                 stats.record_op(queue_cycles + cycles,
                                 sample=stats.ops % stride == 0)
+        port.charge(instructions, used)
+
+    def _run_core_vector(self, port: CorePort, budget_cycles: float,
+                         now: float) -> None:
+        """Fully vectorized drain: snapshot the backlog once, then run
+        budget-guarded chunks with no per-packet Python.
+
+        Equivalent to :meth:`_run_core_batched` (and hence the scalar
+        loop): nothing posts to this workload's rings while it runs, so
+        the round-robin pop order over the whole drain is a pure function
+        of the starting backlog — each ring's packets in FIFO order,
+        ties at the same queue depth broken by ring distance from the
+        cursor — and the chunk admission replays the same worst-case
+        cumulative-bound guard (first packet unconditional).  Empty
+        polls then only ever happen as a trailing phase, exactly the
+        order the per-packet loop produces.
+        """
+        rings = self.rings
+        nrings = len(rings)
+        if nrings == 1:
+            sizes, flows, addrs, arrivals = rings[0].peek_batch()
+            ring_idx = None
+            backlog = sizes.shape[0]
+        else:
+            parts = [ring.peek_batch() for ring in rings]
+            lens = [part[0].shape[0] for part in parts]
+            backlog = sum(lens)
+            sizes = np.concatenate([part[0] for part in parts])
+            flows = np.concatenate([part[1] for part in parts])
+            addrs = np.concatenate([part[2] for part in parts])
+            arrivals = np.concatenate([part[3] for part in parts])
+            ring_idx = np.repeat(np.arange(nrings, dtype=np.int64), lens)
+            within = np.concatenate(
+                [np.arange(n, dtype=np.int64) for n in lens])
+            # Pop order: FIFO depth first, then ring distance from the
+            # round-robin cursor (primary key is the *last* lexsort key).
+            order = np.lexsort(
+                ((ring_idx - self._ring_cursor) % nrings, within))
+            sizes = sizes[order]
+            flows = flows[order]
+            addrs = addrs[order]
+            arrivals = arrivals[order]
+            ring_idx = ring_idx[order]
+        used = 0.0
+        instructions = 0.0
+        stats = self.stats
+        freq_scale = self.core_freq_hz * self.time_scale
+        stride = self.latency_sample_stride
+        start = 0
+        if backlog:
+            nlines = -(-sizes // 64)
+            miss = LLC_HIT_CYCLES + port.dram_cycles
+            # Same float expression, left to right, as
+            # :meth:`_worst_packet_cycles` — bit-equal bounds give
+            # bit-equal chunk boundaries.
+            worst = (nlines * miss / BUFFER_MLP
+                     + self.worst_cost_vec(sizes, nlines, miss))
+            queue_cycles = np.maximum(0.0, (now - arrivals) * freq_scale)
+        cum_buf = np.empty(CHUNK_PACKETS + 1)
+        while used < budget_cycles and start < backlog:
+            limit = min(backlog, start + CHUNK_PACKETS)
+            seg = worst[start:limit]
+            cum = cum_buf[:seg.shape[0] + 1]
+            cum[0] = used
+            cum[1:] = seg
+            np.cumsum(cum, out=cum)
+            # Relative packet i is admitted iff i == 0 (unconditional,
+            # like the scalar loop) or bound-so-far + worst_i < budget.
+            if seg.shape[0] > 1:
+                k = 1 + int(np.searchsorted(cum[2:], budget_cycles,
+                                            side="left"))
+            else:
+                k = 1
+            sl = slice(start, start + k)
+            # Consume before planning, as the gather loop does (matters
+            # only if an app stage posts back into a polled ring).
+            if nrings == 1:
+                rings[0].consume_batch(k)
+            else:
+                chunk_rings = ring_idx[sl]
+                for r, cnt in enumerate(np.bincount(chunk_rings,
+                                                    minlength=nrings)):
+                    if cnt:
+                        rings[r].consume_batch(int(cnt))
+                self._ring_cursor = (int(chunk_rings[-1]) + 1) % nrings
+            pkts = _PKT_ARANGE[:k]
+            nl = nlines[sl]
+            first = int(nl[0])
+            counts = first if bool((nl == first).all()) else nl
+            chunk_sizes = sizes[sl]
+            chunk_addrs = addrs[sl]
+            plan = VectorPlan()
+            plan.add_batch(chunk_addrs, counts, pkts=pkts, rank=0,
+                           mlp=BUFFER_MLP)
+            instr, fixed = self.plan_chunk(
+                plan, port, pkts, chunk_sizes, flows[sl], chunk_addrs,
+                arrivals[sl], None if ring_idx is None else ring_idx[sl],
+                now)
+            self.plan_transmit_chunk(plan, pkts, chunk_sizes, chunk_addrs,
+                                     counts)
+            service = port.run_plan(plan, k) + fixed
+            instructions += instr
+            self.packets_processed += k
+            used = seq_accumulate(used, service)
+            stats.busy_cycles = seq_accumulate(stats.busy_cycles, service)
+            lat = queue_cycles[sl] + service
+            stats.latency_sum_cycles = seq_accumulate(
+                stats.latency_sum_cycles, lat)
+            # The next sampled op is a python-arithmetic question; build
+            # the mask only for chunks that actually contain one.
+            off = stats.ops % stride
+            stats.ops += k
+            if (stride - off) % stride < k:
+                sample = (off + pkts) % stride == 0
+                stats.latency_samples.extend(lat[sample].tolist())
+            start += k
+        # Trailing empty polls, identical to the per-packet loop's.
+        empty_polls = 0
+        while used < budget_cycles:
+            empty_polls += 1
+            used += EMPTY_POLL_CYCLES
+            instructions += EMPTY_POLL_INSTR
+            if empty_polls >= MAX_EMPTY_POLLS:
+                remaining = budget_cycles - used
+                if remaining > 0:
+                    used = budget_cycles
+                    instructions += (remaining / EMPTY_POLL_CYCLES
+                                     * EMPTY_POLL_INSTR)
+                break
         port.charge(instructions, used)
 
     # -- reporting ---------------------------------------------------------

@@ -17,8 +17,10 @@ harder than Redis does (Fig. 12 discussion).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..pci.ring import DescRing, PacketRecord
-from .base import AccessPlan, CorePort
+from .base import AccessPlan, CorePort, VectorPlan
 from .netbase import RingConsumer
 
 #: Firewall rules evaluated per packet (classifier walk).
@@ -84,4 +86,21 @@ class NfvChain(RingConsumer):
 
     def worst_cost_cycles(self, record: PacketRecord,
                           miss_cycles: float) -> float:
+        return NFV_CYCLES + (self._scan_lines + 2) * miss_cycles
+
+    supports_vector = True
+
+    def plan_chunk(self, plan: VectorPlan, port: CorePort, pkts, sizes,
+                   flows, addrs, arrivals, rings, now):
+        k = pkts.shape[0]
+        plan.add_batch(np.full(k, self._rules_base, dtype=np.int64),
+                       self._scan_lines, pkts=pkts, rank=1)
+        flow = flows % self.n_flows
+        plan.add_batch(self._flows_base + flow * FLOW_ENTRY_BYTES, 1,
+                       pkts=pkts, rank=2, write=True)
+        plan.add_batch(self._napt_base + flow * NAPT_ENTRY_BYTES, 1,
+                       pkts=pkts, rank=3)
+        return NFV_INSTRUCTIONS * k, np.full(k, NFV_CYCLES)
+
+    def worst_cost_vec(self, sizes, nlines, miss_cycles):
         return NFV_CYCLES + (self._scan_lines + 2) * miss_cycles

@@ -14,8 +14,10 @@ DRAM read on the way out — the mechanism behind Fig. 14's latency tail.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..pci.ring import DescRing, PacketRecord
-from .base import CorePort
+from .base import AccessPlan, CorePort, VectorPlan
 from .netbase import RingConsumer
 from .ycsb import OpType, YcsbMix
 
@@ -102,6 +104,65 @@ class RedisServer(RingConsumer):
         value bytes were already touched during service)."""
         port.read_line_for_device(record.buf_addr)
         self.tx_bytes += self.value_bytes
+
+    # -- batched/vector drains --------------------------------------------
+    batchable = True
+    supports_vector = True
+
+    def plan_packet(self, plan: AccessPlan, port: CorePort,
+                    record: PacketRecord, ring_idx: int, pkt: int,
+                    now: float) -> "tuple[float, float]":
+        key = record.flow_id % self.n_records
+        plan.add(self.region_base + key * BUCKET_BYTES, 1, pkt=pkt)
+        nlines = -(-self.value_bytes // 64)
+        addr = self._value_addr(key)
+        if self._op_for(record) is OpType.READ:
+            plan.add(addr, nlines, mlp=VALUE_MLP, pkt=pkt)
+        else:
+            plan.add(addr, nlines, write=True, mlp=VALUE_MLP, pkt=pkt)
+        return REDIS_INSTRUCTIONS_PER_OP, REDIS_OVERHEAD_CYCLES
+
+    def worst_cost_cycles(self, record: PacketRecord,
+                          miss_cycles: float) -> float:
+        nlines = -(-self.value_bytes // 64)
+        return (REDIS_OVERHEAD_CYCLES + miss_cycles
+                + nlines * miss_cycles / VALUE_MLP)
+
+    def plan_transmit(self, plan: AccessPlan, record: PacketRecord,
+                      pkt: int) -> None:
+        plan.add_device(record.buf_addr, 1, pkt=pkt)
+        self.tx_bytes += self.value_bytes
+
+    def plan_chunk(self, plan: VectorPlan, port: CorePort, pkts, sizes,
+                   flows, addrs, arrivals, rings, now):
+        k = pkts.shape[0]
+        keys = flows % self.n_records
+        plan.add_batch(self.region_base + keys * BUCKET_BYTES, 1,
+                       pkts=pkts, rank=1)
+        nlines = -(-self.value_bytes // 64)
+        vaddrs = self._values_base + keys * self.value_bytes
+        is_write = sizes > self.WRITE_REQUEST_THRESHOLD
+        reads = np.nonzero(~is_write)[0]
+        if reads.shape[0]:
+            plan.add_batch(vaddrs[reads], nlines, pkts=pkts[reads],
+                           rank=2, mlp=VALUE_MLP)
+        writes = np.nonzero(is_write)[0]
+        if writes.shape[0]:
+            plan.add_batch(vaddrs[writes], nlines, pkts=pkts[writes],
+                           rank=3, write=True, mlp=VALUE_MLP)
+        return REDIS_INSTRUCTIONS_PER_OP * k, np.full(
+            k, REDIS_OVERHEAD_CYCLES)
+
+    def worst_cost_vec(self, sizes, nlines, miss_cycles):
+        value_lines = -(-self.value_bytes // 64)
+        return (REDIS_OVERHEAD_CYCLES + miss_cycles
+                + value_lines * miss_cycles / VALUE_MLP)
+
+    def plan_transmit_chunk(self, plan: VectorPlan, pkts, sizes, addrs,
+                            nlines) -> None:
+        plan.add_batch(addrs, 1, pkts=pkts, rank=self.TX_RANK,
+                       device=True)
+        self.tx_bytes += self.value_bytes * pkts.shape[0]
 
     # -- reporting ---------------------------------------------------------
     def throughput_ops(self, elapsed_seconds: float,

@@ -17,7 +17,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .base import CorePort, Workload
+import numpy as np
+
+from .base import (CorePort, LLC_HIT_CYCLES, VectorPlan, Workload,
+                   seq_accumulate)
 from .streams import uniform_lines
 from .ycsb import OpType, SCAN_LENGTH, YcsbMix, YcsbOpStream
 
@@ -78,15 +81,6 @@ class RocksDb(Workload):
     def _value_addr(self, key: int) -> int:
         return self._values_base + (key % self.n_records) * self.value_bytes
 
-    def _walk_skiplist(self, port: CorePort) -> float:
-        """Dependent pointer chase down the skiplist towers."""
-        cycles = 0.0
-        addrs = uniform_lines(self.rng, self.region_base, self._nodes_bytes,
-                              self.skiplist_depth)
-        for addr in addrs.tolist():
-            cycles += port.access(int(addr))
-        return cycles
-
     #: Streaming MLP of a contiguous 1 KB value copy.
     VALUE_MLP = 4.0
 
@@ -98,8 +92,14 @@ class RocksDb(Workload):
             addr += 64
         return cycles
 
-    def _one_op(self, port: CorePort, op: OpType, key: int) -> float:
-        cycles = ROCKSDB_OVERHEAD_CYCLES + self._walk_skiplist(port)
+    def _one_op(self, port: CorePort, op: OpType, key: int,
+                walk_addrs: "np.ndarray") -> float:
+        """One op against pre-drawn skiplist addresses.  Memory cycles
+        accumulate from zero with the fixed overhead added last — the
+        same float grouping the vectorized plan execution produces."""
+        cycles = 0.0
+        for addr in walk_addrs.tolist():
+            cycles += port.access(int(addr))
         if op in (OpType.READ, OpType.SCAN):
             reads = SCAN_LENGTH if op is OpType.SCAN else 1
             for i in range(reads):
@@ -109,15 +109,34 @@ class RocksDb(Workload):
         else:  # read-modify-write
             cycles += self._touch_value(port, key, write=False)
             cycles += self._touch_value(port, key, write=True)
-        return cycles
+        return cycles + ROCKSDB_OVERHEAD_CYCLES
+
+    #: Value passes per op type: (read passes, write passes).
+    _OP_PASSES = {OpType.READ: (1, 0), OpType.SCAN: (SCAN_LENGTH, 0),
+                  OpType.UPDATE: (0, 1), OpType.INSERT: (0, 1),
+                  OpType.RMW: (1, 1)}
 
     def run_core(self, port: CorePort, budget_cycles: float,
                  now: float) -> None:
+        if self.exec_mode == "vector":
+            self._run_core_vector(port, budget_cycles, now)
+            return
         used = 0.0
         ops = 0
+        stream = self._stream
+        op_types = stream.ops
+        depth = self.skiplist_depth
         while used < budget_cycles:
-            for op, key in self._stream.draw(_BATCH):
-                latency = self._one_op(port, op, key)
+            # Ops and skiplist walks are pre-drawn per batch in every
+            # exec mode, so the RNG stream is mode-independent.
+            op_idx, keys = stream.draw_arrays(_BATCH)
+            walks = uniform_lines(self.rng, self.region_base,
+                                  self._nodes_bytes, _BATCH * depth)
+            for i in range(_BATCH):
+                op = op_types[int(op_idx[i])]
+                latency = self._one_op(
+                    port, op, int(keys[i]),
+                    walks[i * depth:(i + 1) * depth])
                 used += latency
                 ops += 1
                 acc = self.per_op[op]
@@ -126,6 +145,90 @@ class RocksDb(Workload):
                 self.stats.record_op(latency)
                 if used >= budget_cycles:
                     break
+        port.charge(ops * ROCKSDB_INSTRUCTIONS_PER_OP, used)
+
+    def _run_core_vector(self, port: CorePort, budget_cycles: float,
+                         now: float) -> None:
+        """Vectorized twin of the scalar loop: identical draws, access
+        order, and float accumulation, with budget-guarded chunk
+        admission (first op unconditional; a worst-case cumulative bound
+        decides the rest, so any op executed here has actual
+        ``used-before < budget`` exactly like the scalar check)."""
+        used = 0.0
+        ops = 0
+        stream = self._stream
+        op_types = stream.ops
+        depth = self.skiplist_depth
+        value_lines = -(-self.value_bytes // 64)
+        miss = LLC_HIT_CYCLES + port.dram_cycles
+        passes = np.array([self._OP_PASSES[op] for op in op_types],
+                          dtype=np.int64)
+        stats = self.stats
+        while used < budget_cycles:
+            op_idx, keys = stream.draw_arrays(_BATCH)
+            walks = uniform_lines(self.rng, self.region_base,
+                                  self._nodes_bytes, _BATCH * depth)
+            reads = passes[op_idx, 0]
+            writes = passes[op_idx, 1]
+            # +1.0 keeps the bound a true upper bound despite the
+            # different rounding of the product form.
+            worst = (ROCKSDB_OVERHEAD_CYCLES + depth * miss
+                     + (reads + writes)
+                     * (value_lines * miss / self.VALUE_MLP) + 1.0)
+            start = 0
+            while start < _BATCH and used < budget_cycles:
+                remaining = _BATCH - start
+                cum = np.empty(remaining + 1)
+                cum[0] = used
+                cum[1:] = worst[start:]
+                np.cumsum(cum, out=cum)
+                if remaining > 1:
+                    k = 1 + int(np.searchsorted(cum[2:], budget_cycles,
+                                                side="left"))
+                else:
+                    k = 1
+                sl = slice(start, start + k)
+                pkts = np.arange(k, dtype=np.int64)
+                plan = VectorPlan()
+                plan.add_batch(walks[start * depth:(start + k) * depth], 1,
+                               pkts=np.repeat(pkts, depth), rank=0)
+                chunk_keys = keys[sl]
+                nrec = self.n_records
+                read_counts = reads[sl]
+                total_reads = int(read_counts.sum())
+                if total_reads:
+                    starts = np.cumsum(read_counts) - read_counts
+                    within = np.arange(total_reads, dtype=np.int64) \
+                        - np.repeat(starts, read_counts)
+                    scan_keys = np.repeat(chunk_keys, read_counts) + within
+                    plan.add_batch(self._values_base
+                                   + (scan_keys % nrec) * self.value_bytes,
+                                   value_lines,
+                                   pkts=np.repeat(pkts, read_counts),
+                                   rank=1, mlp=self.VALUE_MLP)
+                writers = np.nonzero(writes[sl])[0]
+                if writers.shape[0]:
+                    plan.add_batch(self._values_base
+                                   + (chunk_keys[writers] % nrec)
+                                   * self.value_bytes,
+                                   value_lines, pkts=writers, rank=2,
+                                   write=True, mlp=self.VALUE_MLP)
+                service = port.run_plan(plan, k) + ROCKSDB_OVERHEAD_CYCLES
+                used = seq_accumulate(used, service)
+                ops += k
+                chunk_ops = op_idx[sl]
+                for idx, op in enumerate(op_types):
+                    mask = chunk_ops == idx
+                    count = int(np.count_nonzero(mask))
+                    if count:
+                        acc = self.per_op[op]
+                        acc.count += count
+                        acc.total_cycles = seq_accumulate(
+                            acc.total_cycles, service[mask])
+                stats.ops += k
+                stats.latency_sum_cycles = seq_accumulate(
+                    stats.latency_sum_cycles, service)
+                start += k
         port.charge(ops * ROCKSDB_INSTRUCTIONS_PER_OP, used)
 
     # -- reporting ---------------------------------------------------------

@@ -8,8 +8,10 @@ small fixed descriptor-handling cost, then bounces the packet out.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..pci.ring import PacketRecord
-from .base import AccessPlan, CorePort
+from .base import AccessPlan, CorePort, VectorPlan
 from .netbase import RingConsumer
 
 #: Fixed per-packet descriptor/mbuf handling cost.
@@ -36,4 +38,14 @@ class TestPmd(RingConsumer):
 
     def worst_cost_cycles(self, record: PacketRecord,
                           miss_cycles: float) -> float:
+        return TESTPMD_CYCLES
+
+    supports_vector = True
+
+    def plan_chunk(self, plan: VectorPlan, port: CorePort, pkts, sizes,
+                   flows, addrs, arrivals, rings, now):
+        k = pkts.shape[0]
+        return TESTPMD_INSTRUCTIONS * k, np.full(k, TESTPMD_CYCLES)
+
+    def worst_cost_vec(self, sizes, nlines, miss_cycles):
         return TESTPMD_CYCLES

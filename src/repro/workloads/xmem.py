@@ -57,8 +57,9 @@ class XMem(Workload):
         # Budget guard for vectorized segments: the cost of one op if it
         # went all the way to DRAM.
         worst = XMEM_OVERHEAD_CYCLES + LLC_HIT_CYCLES + port.dram_cycles
+        random_read = self.pattern == "random_read"
         while used < budget_cycles:
-            if self.pattern == "random_read":
+            if random_read:
                 addrs = uniform_lines(self.rng, self.region_base,
                                       self.working_set_bytes, _BATCH)
             else:
@@ -82,10 +83,17 @@ class XMem(Workload):
                     continue
                 stop = min(_BATCH, start + safe)
                 seg_l2 = l2_hits[start:stop]
-                latencies = np.full(stop - start, L2_HIT_CYCLES)
                 llc = ~seg_l2
-                if llc.any():
-                    latencies[llc] = port.access_batch(addrs[start:stop][llc])
+                if llc.all():
+                    # Working sets far beyond L2 (the paper's norm):
+                    # every op reaches the LLC, no masking needed.
+                    latencies = np.asarray(
+                        port.access_batch(addrs[start:stop]), dtype=float)
+                else:
+                    latencies = np.full(stop - start, L2_HIT_CYCLES)
+                    if llc.any():
+                        latencies[llc] = port.access_batch(
+                            addrs[start:stop][llc])
                 seg_sum = float(latencies.sum())
                 count = stop - start
                 used += count * XMEM_OVERHEAD_CYCLES + seg_sum

@@ -85,20 +85,48 @@ class YcsbOpStream:
         self._ops = list(self.mix.proportions.keys())
         self._cum = np.cumsum([self.mix.proportions[o] for o in self._ops])
 
-    def draw(self, count: int) -> "list[tuple[OpType, int]]":
+    @property
+    def ops(self) -> "list[OpType]":
+        """The mix's op types, indexable by :meth:`draw_arrays` indices."""
+        return self._ops
+
+    def draw_arrays(self, count: int) -> "tuple[np.ndarray, np.ndarray]":
+        """``(op_idx, keys)`` arrays for ``count`` ops.
+
+        Bit-identical RNG consumption and key remapping to the tuple
+        path: the sequential insert counter becomes an inclusive cumsum
+        of the insert mask (an INSERT sees its own increment, a "latest"
+        read sees only the inserts before it — the mask contributes 0).
+        """
         if count == 0:
-            return []
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
         rolls = self.rng.random(count)
-        op_idx = np.searchsorted(self._cum, rolls)
-        keys = self._keys.draw(count)
-        out = []
-        for idx, key in zip(op_idx.tolist(), keys.tolist()):
-            op = self._ops[min(idx, len(self._ops) - 1)]
-            if op is OpType.INSERT:
-                self._insert_count += 1
-                key = (self.n_keys + self._insert_count) % (2 * self.n_keys)
-            elif self.mix.letter == "D":
+        op_idx = np.minimum(np.searchsorted(self._cum, rolls),
+                            len(self._ops) - 1)
+        keys = self._keys.draw(count).astype(np.int64, copy=False)
+        try:
+            insert_idx = self._ops.index(OpType.INSERT)
+        except ValueError:
+            insert_idx = -1
+        wrap = 2 * self.n_keys
+        if insert_idx >= 0:
+            inserts = op_idx == insert_idx
+            counts = self._insert_count + np.cumsum(inserts)
+            if self.mix.letter == "D":
                 # "Latest" flavour: bias reads toward recent inserts.
-                key = (self.n_keys + self._insert_count - key) % (2 * self.n_keys)
-            out.append((op, key))
-        return out
+                keys = np.where(inserts, (self.n_keys + counts) % wrap,
+                                (self.n_keys + counts - keys) % wrap)
+            else:
+                keys = np.where(inserts, (self.n_keys + counts) % wrap,
+                                keys)
+            self._insert_count += int(np.count_nonzero(inserts))
+        elif self.mix.letter == "D":
+            keys = (self.n_keys + self._insert_count - keys) % wrap
+        return op_idx, keys
+
+    def draw(self, count: int) -> "list[tuple[OpType, int]]":
+        op_idx, keys = self.draw_arrays(count)
+        ops = self._ops
+        return [(ops[idx], key)
+                for idx, key in zip(op_idx.tolist(), keys.tolist())]

@@ -66,6 +66,21 @@ class TestBenchSchema:
         with pytest.raises(AssertionError):
             runner.validate(broken)
 
+    def test_perf_gate_thresholds(self):
+        """check_perf passes at >= 0.8x committed speedup, fails below,
+        and refuses cross-scale comparisons."""
+        checker = _load("check_perf")
+        committed = {"scale": "default", "engine": {"speedup": 10.0}}
+        ok, _ = checker.check(
+            {"scale": "default", "engine": {"speedup": 8.0}}, committed)
+        assert ok
+        ok, _ = checker.check(
+            {"scale": "default", "engine": {"speedup": 7.9}}, committed)
+        assert not ok
+        with pytest.raises(ValueError):
+            checker.check(
+                {"scale": "tiny", "engine": {"speedup": 8.0}}, committed)
+
     def test_committed_document_is_valid(self):
         """The checked-in default-scale results must satisfy the schema."""
         path = os.path.join(_PERF, "BENCH_llc.json")

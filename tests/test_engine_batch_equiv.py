@@ -1,0 +1,94 @@
+"""Engine-level execution-mode equivalence.
+
+The quantum pipeline runs each workload in one of three modes
+(:data:`repro.sim.engine.EXEC_MODES`): the fully vectorized drain, the
+chunked per-packet-planned drain, and the scalar per-packet reference
+loop.  These tests pin the contract the vectorization relies on: all
+three modes are *the same simulation* — every recorded metric field and
+every controller decision must be identical, across seeds and scenario
+shapes (fig. 8's OVS forwarding chain, fig. 9's many-flow variant, and
+a fig. 11-style managed run with the IAT daemon in the loop).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import ControlPlane, IATDaemon, IATParams
+from repro.experiments.common import leaky_dma_scenario
+from repro.net.traffic import TrafficSpec
+from repro.sim.config import TINY_PLATFORM
+from repro.sim.engine import EXEC_MODES, Simulation
+from repro.sim.platform import Platform
+from repro.tenants.tenant import Priority, Tenant
+from repro.workloads.testpmd import TestPmd
+from repro.workloads.xmem import XMem
+
+ARRAY_TINY = dataclasses.replace(TINY_PLATFORM, llc_backend="array")
+
+
+def _records(metrics) -> list:
+    """Field-for-field view of every quantum record (dataclass dump)."""
+    return [dataclasses.asdict(record) for record in metrics.records]
+
+
+def _run_leaky(exec_mode: str, seed: int, *, n_flows: int = 1) -> list:
+    scen = leaky_dma_scenario(packet_size=512, n_flows=n_flows,
+                              ring_entries=128, spec=ARRAY_TINY, seed=seed)
+    scen.sim.exec_mode = exec_mode
+    return _records(scen.sim.run(0.5))
+
+
+def _run_iat(exec_mode: str, seed: int) -> "tuple[list, list]":
+    """A fig. 11-flavoured managed run: PC testpmd + BE X-Mem under the
+    IAT daemon, so controller decisions feed back into the pipeline."""
+    platform = Platform(ARRAY_TINY)
+    sim = Simulation(platform, seed=seed, exec_mode=exec_mode)
+    nic = platform.add_nic("n0", 40.0)
+    vf = nic.add_vf(entries=64, name="vf0")
+    pmd = TestPmd("pmd", [vf.rx_ring])
+    sim.add_tenant(Tenant("pmd", cores=(0,), priority=Priority.PC,
+                          is_io=True, initial_ways=2), pmd)
+    xmem = XMem("xmem", 64 << 10)
+    xmem.l2_bytes = 8 << 10
+    sim.add_tenant(Tenant("xmem", cores=(1,), priority=Priority.BE,
+                          initial_ways=2), xmem)
+    sim.attach_traffic(nic, vf, TrafficSpec(pps=1500.0, packet_size=512,
+                                            n_flows=64, zipf_theta=0.9,
+                                            burstiness=0.3))
+    control = ControlPlane(platform.pqos, sim.tenant_set(),
+                           time_scale=platform.spec.time_scale)
+    daemon = IATDaemon(control, IATParams(interval_s=0.2))
+    sim.add_controller(daemon)
+    metrics = sim.run(1.2)
+    return _records(metrics), [dataclasses.asdict(h)
+                               for h in daemon.history]
+
+
+class TestExecModeEquivalence:
+    @pytest.mark.parametrize("seed", [8, 21, 1234])
+    def test_vector_equals_batch_fig8(self, seed):
+        assert _run_leaky("vector", seed) == _run_leaky("batch", seed)
+
+    @pytest.mark.parametrize("seed", [8, 77])
+    def test_vector_equals_scalar_fig8(self, seed):
+        assert _run_leaky("vector", seed) == _run_leaky("scalar", seed)
+
+    def test_all_modes_match_fig9_many_flows(self):
+        runs = [_run_leaky(mode, 11, n_flows=128) for mode in EXEC_MODES]
+        assert runs[0] == runs[1] == runs[2]
+
+    @pytest.mark.parametrize("seed", [7, 42])
+    def test_vector_equals_batch_with_iat_daemon(self, seed):
+        vec_metrics, vec_history = _run_iat("vector", seed)
+        bat_metrics, bat_history = _run_iat("batch", seed)
+        assert vec_metrics == bat_metrics
+        assert vec_history == bat_history
+
+    def test_vector_equals_scalar_with_iat_daemon(self):
+        vec_metrics, vec_history = _run_iat("vector", 7)
+        sca_metrics, sca_history = _run_iat("scalar", 7)
+        assert vec_metrics == sca_metrics
+        assert vec_history == sca_history
