@@ -9,11 +9,17 @@ Usage::
 Fails (exit 1) when the fresh document's end-to-end engine speedup
 drops below ``--threshold`` (default 0.8) times the committed value —
 i.e. the vectorized pipeline lost more than 20% of its advantage over
-the scalar reference.  Speedup is a ratio of two runs on the same
-host, so it is comparable across machines in a way wall-clock is not;
-the two documents must still be at the same ``--scale``, because the
-tiny geometry has a different vector/scalar balance (exit 2 on a scale
-mismatch rather than a misleading comparison).
+the scalar reference — or when the fresh tracing overhead
+(``obs.enabled_overhead``) exceeds the committed value by more than
+``--obs-margin`` (default 0.10 absolute, i.e. ten percentage points; an
+overhead is already a same-host ratio, so an absolute margin is the
+meaningful unit).  The obs gate only engages when both documents carry
+an ``obs`` section.  Speedups and overheads are ratios of two runs on
+the same host, so they are comparable across machines in a way
+wall-clock is not; the two documents must still be at the same
+``--scale``, because the tiny geometry has a different vector/scalar
+balance (exit 2 on a scale mismatch rather than a misleading
+comparison).
 """
 
 from __future__ import annotations
@@ -26,9 +32,9 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_COMMITTED = os.path.join(_HERE, "BENCH_llc.json")
 
 
-def check(fresh: dict, committed: dict,
-          threshold: float = 0.8) -> "tuple[bool, str]":
-    """``(ok, message)`` for a fresh-vs-committed speedup comparison."""
+def check(fresh: dict, committed: dict, threshold: float = 0.8,
+          obs_margin: float = 0.10) -> "tuple[bool, str]":
+    """``(ok, message)`` for a fresh-vs-committed comparison."""
     if fresh.get("scale") != committed.get("scale"):
         raise ValueError(
             f"scale mismatch: fresh={fresh.get('scale')!r} vs "
@@ -37,10 +43,23 @@ def check(fresh: dict, committed: dict,
     fresh_speedup = fresh["engine"]["speedup"]
     committed_speedup = committed["engine"]["speedup"]
     floor = threshold * committed_speedup
-    message = (f"engine speedup: fresh {fresh_speedup:.2f}x vs committed "
-               f"{committed_speedup:.2f}x (floor {floor:.2f}x = "
-               f"{threshold:.0%} of committed)")
-    return fresh_speedup >= floor, message
+    ok = fresh_speedup >= floor
+    messages = [f"engine speedup: fresh {fresh_speedup:.2f}x vs committed "
+                f"{committed_speedup:.2f}x (floor {floor:.2f}x = "
+                f"{threshold:.0%} of committed)"]
+    fresh_obs = fresh.get("obs") or {}
+    committed_obs = committed.get("obs") or {}
+    if "enabled_overhead" in fresh_obs and \
+            "enabled_overhead" in committed_obs:
+        fresh_ov = fresh_obs["enabled_overhead"]
+        ceiling = committed_obs["enabled_overhead"] + obs_margin
+        ok = ok and fresh_ov <= ceiling
+        messages.append(
+            f"obs enabled overhead: fresh {fresh_ov:+.1%} vs committed "
+            f"{committed_obs['enabled_overhead']:+.1%} "
+            f"(ceiling {ceiling:+.1%} = committed + "
+            f"{obs_margin:.0%} margin)")
+    return ok, "; ".join(messages)
 
 
 def main(argv=None) -> int:
@@ -51,13 +70,17 @@ def main(argv=None) -> int:
                              "BENCH_llc.json next to this script)")
     parser.add_argument("--threshold", type=float, default=0.8,
                         help="minimum fresh/committed speedup ratio")
+    parser.add_argument("--obs-margin", type=float, default=0.10,
+                        help="max absolute increase of obs "
+                             "enabled_overhead over committed")
     args = parser.parse_args(argv)
     with open(args.fresh) as handle:
         fresh = json.load(handle)
     with open(args.committed) as handle:
         committed = json.load(handle)
     try:
-        ok, message = check(fresh, committed, args.threshold)
+        ok, message = check(fresh, committed, args.threshold,
+                            args.obs_margin)
     except ValueError as error:
         print(f"check_perf: {error}")
         return 2

@@ -85,6 +85,15 @@ def validate(doc: dict) -> None:
             assert key in obs, f"obs result missing {key}"
         assert obs["events"] > 0, "enabled tracer recorded no events"
         assert isinstance(obs["profile_shares"], dict)
+        if "sampled_overhead" in obs:  # added with sampled mode (additive)
+            for key in ("sampled_s", "events_sampled", "repeats",
+                        "sample_every"):
+                assert key in obs, f"obs result missing {key}"
+            assert obs["events_sampled"] > 0, \
+                "sampled tracer recorded no events"
+            assert obs["events_sampled"] < obs["events"], \
+                "sampled mode recorded as much as full fidelity"
+            assert obs["repeats"] >= 3, "median-of-k needs >= 3 rounds"
     suite = doc.get("suite")
     if suite is not None:  # absent in pre-exec documents (schema additive)
         for key in ("sweep", "points", "jobs", "serial_s", "parallel_s",
@@ -122,10 +131,17 @@ def main(argv=None) -> int:
                               key=lambda kv: kv[1], reverse=True):
         print(f"       stage {name:>12}: {share:.1%}")
     obs = doc["obs"]
-    print(f"obs    {obs['scenario']}: baseline {obs['baseline_s']:.3f}s"
-          f"  disabled {obs['disabled_overhead']:+.1%}"
-          f"  enabled {obs['enabled_overhead']:+.1%}"
-          f"  ({obs['events']} events)")
+    line = (f"obs    {obs['scenario']}: baseline {obs['baseline_s']:.3f}s"
+            f"  disabled {obs['disabled_overhead']:+.1%}"
+            f"  enabled {obs['enabled_overhead']:+.1%}")
+    if "sampled_overhead" in obs:
+        line += (f"  sampled(1/{obs['sample_every']}) "
+                 f"{obs['sampled_overhead']:+.1%}")
+    line += f"  ({obs['events']} events"
+    if "events_sampled" in obs:
+        line += f", {obs['events_sampled']} sampled"
+    line += f"; median of {obs.get('repeats', 1)} pairs)"
+    print(line)
     for key, share in sorted(obs["profile_shares"].items(),
                              key=lambda kv: kv[1], reverse=True):
         print(f"       profile {key:>20}: {share:.1%}")

@@ -41,6 +41,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..obs import tracer as _obs
 from .geometry import CacheGeometry
 
 #: Sentinel tag marking an invalid (empty) way.
@@ -813,6 +814,9 @@ class SlicedLLC:
 
     def flush(self) -> None:
         """Invalidate every line (no writeback accounting)."""
+        # A cold site on no hot loop: the module trampoline is a no-op
+        # unless a tracer is installed and live.
+        _obs.instant_hook("llc", "flush", valid_lines=self._valid)
         if self.backend == "scalar":
             nways = self.geometry.ways
             for index in range(len(self._tags)):

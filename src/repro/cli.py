@@ -4,20 +4,29 @@ Five subcommands:
 
 * ``repro figures`` — list the reproducible figures.
 * ``repro figure <id> [--fast] [--jobs N] [--no-cache] [--duration S]
-  [--warmup S]`` — regenerate one figure's table.  ``--fast`` shrinks
-  sweeps/durations for a quick look; sweep points fan out across
-  ``--jobs`` worker processes (default: all cores) and completed points
-  replay from the on-disk result cache (see ``docs/experiments.md``)
-  unless ``--no-cache`` is given.  ``--duration``/``--warmup`` override
-  the harness's measurement window where it supports one.
-* ``repro suite [--fast] [--jobs N]`` — run every figure back to back
-  through one shared worker pool.
-* ``repro trace <id> [--fast] [--out FILE] [--format perfetto|jsonl]``
-  — run a figure with the tracing subsystem enabled (see
+  [--warmup S] [--trace-out FILE]`` — regenerate one figure's table.
+  ``--fast`` shrinks sweeps/durations for a quick look; sweep points
+  fan out across ``--jobs`` worker processes (default: all cores) and
+  completed points replay from the on-disk result cache (see
+  ``docs/experiments.md``) unless ``--no-cache`` is given.
+  ``--duration``/``--warmup`` override the harness's measurement window
+  where it supports one.  ``--trace-out`` records every computed sweep
+  point as a per-worker trace shard and merges them into one Perfetto
+  file — tracing no longer forces serial execution.
+* ``repro suite [--fast] [--jobs N] [--trace-out FILE]`` — run every
+  figure back to back through one shared worker pool.
+* ``repro trace <id> [--fast] [--out FILE] [--format perfetto|jsonl]
+  [--sample N] [--seed S] [--capacity N] [--metrics-out FILE]`` — run a
+  figure with the in-process tracing subsystem enabled (see
   ``docs/observability.md``) and export the event stream; the default
   ``perfetto`` format loads directly into https://ui.perfetto.dev.
-  Also prints the self-profiling per-subsystem time shares.  Tracing
-  forces serial, uncached execution so every event is observed.
+  ``--sample N`` traces 1-in-N quanta (deterministic in ``--seed``);
+  ``--capacity`` bounds the ring to the most recent N events;
+  ``--metrics-out`` additionally exports the metrics registry in the
+  Prometheus text format.  Prints the self-profiling per-subsystem time
+  shares plus per-category event counts and the dropped-event total.
+  In-process tracing forces serial, uncached execution so every event
+  is observed (use ``figure --trace-out`` for parallel tracing).
 * ``repro daemon --tenants FILE [--backend sim|linux]`` — run the IAT
   daemon against a tenant affiliation file.  The ``linux`` backend
   drives real MSRs (root + the msr module required — untested here, see
@@ -33,10 +42,13 @@ import argparse
 import inspect
 import re
 import sys
+import tempfile
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from .exec import ParallelRunner, ResultCache
+from .exec.runner import TraceFanout
 from .experiments import (ext_ddio, fig03_ring_size, fig04_latent_contender,
                           fig08_leaky_dma, fig09_flow_scaling, fig10_shuffle,
                           fig11_timeline, fig12_exec_time,
@@ -123,13 +135,46 @@ def sorted_figures() -> "list[str]":
     return sorted(FIGURES, key=_natural_key)
 
 
-def _make_runner(args) -> ParallelRunner:
+def _make_runner(args, trace_dir: "str | None" = None) -> ParallelRunner:
     """A runner configured from the shared sweep CLI flags."""
     cache = None
     if not getattr(args, "no_cache", False):
         cache = ResultCache(getattr(args, "cache_dir", None))
+    trace = None
+    if trace_dir is not None:
+        trace = TraceFanout(trace_dir,
+                            sample=getattr(args, "trace_sample", None))
     return ParallelRunner(jobs=args.jobs, cache=cache,
-                          echo=sys.stderr.isatty())
+                          echo=sys.stderr.isatty(), trace=trace)
+
+
+def _traced_runner(args, stack: ExitStack) -> ParallelRunner:
+    """A runner honouring ``--trace-out``: shards land in a temporary
+    directory that outlives the runs just long enough to merge."""
+    trace_dir = None
+    if getattr(args, "trace_out", None):
+        trace_dir = stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-trace-"))
+    return stack.enter_context(_make_runner(args, trace_dir))
+
+
+def _finish_trace(runner: ParallelRunner, args) -> None:
+    """Merge the run's trace shards into ``--trace-out`` and report."""
+    out = getattr(args, "trace_out", None)
+    if not out:
+        return
+    summary = runner.write_merged_trace(out)
+    if summary is None:
+        print("trace: no sweep points were traced (figure without a "
+              "runner-driven sweep?); nothing written", file=sys.stderr)
+        return
+    line = (f"trace: merged {summary['shards']} shards, "
+            f"{summary['events']} events -> {out}")
+    if summary["dropped"]:
+        line += f" ({summary['dropped']} dropped)"
+    if summary["incomplete"]:
+        line += f" [{summary['incomplete']} incomplete shards]"
+    print(line)
 
 
 def _run_entry(entry: FigureEntry, *, fast: bool,
@@ -172,21 +217,25 @@ def _cmd_figure(args) -> int:
         print(f"unknown figure {args.id!r}; try 'repro figures'",
               file=sys.stderr)
         return 2
-    with _make_runner(args) as runner:
+    with ExitStack() as stack:
+        runner = _traced_runner(args, stack)
         print(_run_entry(entry, fast=args.fast, runner=runner,
                          duration=args.duration, warmup=args.warmup))
+        _finish_trace(runner, args)
     return 0
 
 
 def _cmd_suite(args) -> int:
     start = time.perf_counter()
-    with _make_runner(args) as runner:
+    with ExitStack() as stack:
+        runner = _traced_runner(args, stack)
         for name in sorted_figures():
             entry = FIGURES[name]
             print(f"=== {name} — {entry.description} ===")
             print(_run_entry(entry, fast=args.fast, runner=runner,
                              duration=args.duration, warmup=args.warmup))
             print()
+        _finish_trace(runner, args)
     elapsed = time.perf_counter() - start
     hits = runner.cache.hits if runner.cache is not None else 0
     print(f"suite: {len(FIGURES)} figures in {elapsed:.1f}s "
@@ -205,22 +254,41 @@ def _cmd_trace(args) -> int:
         return 2
     suffix = "jsonl" if args.format == "jsonl" else "json"
     out = args.out or f"trace_{args.id}.{suffix}"
-    tracer = Tracer(profiling=True)
+    tracer = Tracer(profiling=True, sample=args.sample, seed=args.seed,
+                    capacity=args.capacity)
     ring = tracer.add_sink(RingBufferSink(capacity=None))
     tracer.add_sink(JsonlSink(out) if args.format == "jsonl"
                     else PerfettoSink(out))
-    with tracing(tracer):
-        # No runner: serial, uncached — a cache hit would skip the
-        # simulation entirely and record no events.
-        table = _run_entry(entry, fast=args.fast)
+    if args.metrics_out:
+        from .obs.metrics import REGISTRY
+        REGISTRY.clear()
+        REGISTRY.enabled = True
+    try:
+        with tracing(tracer):
+            # No runner: serial, uncached — a cache hit would skip the
+            # simulation entirely and record no events.
+            table = _run_entry(entry, fast=args.fast)
+    finally:
+        if args.metrics_out:
+            REGISTRY.enabled = False
     tracer.close()
     print(table)
     print(f"trace: {len(ring)} events -> {out}")
+    counts = tracer.category_counts()
+    if counts:
+        print("events: "
+              + ", ".join(f"{category} {count}" for category, count
+                          in sorted(counts.items()))
+              + f"; dropped {tracer.dropped}")
     shares = tracer.profile_shares()
     if shares:
         top = sorted(shares.items(), key=lambda kv: kv[1], reverse=True)
         print("profile: " + ", ".join(f"{key} {share:.1%}"
                                       for key, share in top[:6]))
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(REGISTRY.to_prometheus())
+        print(f"metrics -> {args.metrics_out}")
     return 0
 
 
@@ -348,6 +416,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the measurement window (seconds)")
         p.add_argument("--warmup", type=float, default=None, metavar="S",
                        help="override the warmup window (seconds)")
+        p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="record every computed sweep point as a "
+                            "trace shard (works with --jobs N) and "
+                            "merge them into one Perfetto file here")
+        p.add_argument("--trace-sample", type=int, default=None,
+                       metavar="N",
+                       help="with --trace-out: trace 1-in-N quanta per "
+                            "point instead of full fidelity")
 
     figure = sub.add_parser("figure", help="regenerate one figure")
     figure.add_argument("id", help="figure id (see 'repro figures')")
@@ -370,6 +446,17 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--format", choices=("perfetto", "jsonl"),
                        default="perfetto",
                        help="perfetto trace_event JSON or raw JSONL")
+    trace.add_argument("--sample", type=int, default=None, metavar="N",
+                       help="trace 1-in-N simulation quanta "
+                            "(deterministic in --seed)")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="sampling seed (default 0)")
+    trace.add_argument("--capacity", type=int, default=None, metavar="N",
+                       help="bound the ring to the most recent N events "
+                            "(overflow is counted, not silent)")
+    trace.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="also export the metrics registry here "
+                            "(Prometheus text format)")
     trace.set_defaults(func=_cmd_trace)
 
     daemon = sub.add_parser("daemon", help="run the IAT daemon")

@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from dataclasses import asdict, dataclass
 
-from ..obs.tracer import current_tracer
+from ..obs.tracer import enabled_tracer
 from .allocator import Layout, WayAllocator
 from .control import ControlPlane
 from .fsm import INITIAL_STATE, State, next_state
@@ -149,11 +149,11 @@ class IATDaemon:
                          wall_start=wall_start)
             return
 
-        tracer = current_tracer()
+        tracer = enabled_tracer()
         if report.kind is ChangeKind.SHUFFLE_FIRST and self.shuffle:
             # Special case 3: reshuffle before touching any way counts.
             self._order = placement_order(control.tenants, self._last_refs)
-            if tracer.enabled:
+            if tracer is not None:
                 tracer.instant("shuffle", "order", reason="shuffle-first",
                                order=list(self._order))
             self._apply_layout()
@@ -163,7 +163,7 @@ class IATDaemon:
 
         old_state = self.state
         self.state = next_state(old_state, report.signals)
-        if tracer.enabled:
+        if tracer is not None:
             tracer.instant("fsm", "transition", src=old_state.value,
                            dst=self.state.value,
                            signals=asdict(report.signals))
@@ -173,7 +173,7 @@ class IATDaemon:
             action = f"{action}; {grown}"
         if self.shuffle:
             self._order = placement_order(control.tenants, self._last_refs)
-            if tracer.enabled:
+            if tracer is not None:
                 tracer.instant("shuffle", "order", reason="post-transition",
                                order=list(self._order))
         self._apply_layout()
@@ -352,21 +352,21 @@ class IATDaemon:
             order = tenants.group_names()
         layout = self.allocator.layout(order)
         pqos = self.control.pqos
-        tracer = current_tracer()
+        tracer = enabled_tracer()
         for tenant in tenants:
             mask = layout.mask_of(tenant)
             old = (self.layout.group_masks.get(tenant.group)
                    if self.layout else None)
             if old != mask:
                 pqos.alloc_set(tenant.cos_id, mask)
-                if tracer.enabled:
+                if tracer is not None:
                     tracer.instant("mask", "tenant", tenant=tenant.name,
                                    group=tenant.group, cos=tenant.cos_id,
                                    mask=mask)
         if self.manage_ddio and (
                 self.layout is None or self.layout.ddio_mask != layout.ddio_mask):
             pqos.ddio_set_mask(layout.ddio_mask)
-            if tracer.enabled:
+            if tracer is not None:
                 tracer.instant("mask", "ddio", mask=layout.ddio_mask,
                                ways=self.allocator.ddio_ways)
         self.layout = layout
@@ -378,8 +378,8 @@ class IATDaemon:
         self.timings.append(IterationTiming(stable=stable,
                                             modelled_us=modelled,
                                             wall_us=wall))
-        tracer = current_tracer()
-        if tracer.enabled:
+        tracer = enabled_tracer()
+        if tracer is not None:
             tracer.complete("daemon", "interval", wall / 1e6,
                             stable=stable, kind=kind.value,
                             modelled_us=modelled)
@@ -392,8 +392,8 @@ class IATDaemon:
             group_ways=dict(self.allocator.group_ways),
             action=action)
         self.history.append(entry)
-        tracer = current_tracer()
-        if tracer.enabled:
+        tracer = enabled_tracer()
+        if tracer is not None:
             tracer.set_sim_time(now)
             tracer.instant("daemon", "iteration", time=now,
                            state=entry.state.value, kind=kind.value,

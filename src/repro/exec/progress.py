@@ -19,7 +19,7 @@ from __future__ import annotations
 import sys
 import time
 
-from ..obs import current_tracer
+from ..obs import tracer as _obs
 
 __all__ = ["SweepProgress"]
 
@@ -55,9 +55,11 @@ class SweepProgress:
         else:
             self._computed_s += seconds
         eta = self.eta_s()
-        current_tracer().counter("exec", self.name, done=self.done,
-                                 total=self.total,
-                                 cache_hits=self.cache_hits, eta_s=eta)
+        # Module-attribute access so install_tracer's rebinding is seen:
+        # with tracing off this is one no-op call.
+        _obs.counter_hook("exec", self.name, done=self.done,
+                          total=self.total,
+                          cache_hits=self.cache_hits, eta_s=eta)
         if self.echo:
             self.stream.write(
                 f"\r[{self.name}] {self.done}/{self.total} points "
@@ -67,10 +69,10 @@ class SweepProgress:
     def finish(self) -> float:
         """Emit the sweep-done instant; returns elapsed wall seconds."""
         elapsed = self.clock() - self._start
-        current_tracer().instant("exec", "sweep_done", sweep=self.name,
-                                 points=self.total,
-                                 cache_hits=self.cache_hits,
-                                 wall_s=elapsed)
+        _obs.instant_hook("exec", "sweep_done", sweep=self.name,
+                          points=self.total,
+                          cache_hits=self.cache_hits,
+                          wall_s=elapsed)
         if self.echo:
             self.stream.write(
                 f"\r[{self.name}] {self.done}/{self.total} points "

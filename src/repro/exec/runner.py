@@ -11,9 +11,18 @@ completion order, cache state, or worker count — so
 
 produce bit-identical result lists: every point function builds its own
 explicitly-seeded simulation from its arguments alone, and pickling the
-result back from a worker preserves float bits exactly.  Tracing runs
-fall back to serial in-process execution automatically (worker
-processes would emit their events into their own, unobserved tracers).
+result back from a worker preserves float bits exactly.
+
+Tracing composes with parallelism through *trace shards*: give the
+runner a :class:`TraceFanout` and every computed point — in-process or
+in a worker — records into its own tracer and writes one shard file
+(meta + heartbeats + events, see :mod:`repro.obs.merge`); the parent
+merges all shards into a single Perfetto document afterwards
+(:meth:`ParallelRunner.write_merged_trace`).  An *in-process* enabled
+tracer (``repro trace``) still forces serial execution — workers can't
+feed the parent's ring — but that is now the fallback, not the only
+path.  Shard runs skip cache **reads** (a cached point would record no
+events) while still populating the cache for later runs.
 
 The executor is created lazily and kept for the runner's lifetime, so
 one runner can drive many sweeps — ``repro suite`` pushes every figure
@@ -26,14 +35,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
 from time import perf_counter
 
 from ..obs import current_tracer
+from ..obs.merge import ShardWriter, write_merged
+from ..obs.tracer import Tracer, tracing
 from .cache import ResultCache, code_fingerprint, point_key
 from .progress import SweepProgress
 from .sweep import SweepSpec
 
-__all__ = ["ParallelRunner", "run_sweep"]
+__all__ = ["ParallelRunner", "TraceFanout", "run_sweep"]
 
 #: Upper bound on points per worker task, so a long sweep still reports
 #: progress at a useful cadence.
@@ -61,6 +73,60 @@ def _call_chunk(func, params_list: "list[dict]") -> list:
     return [_call_point(func, params) for params in params_list]
 
 
+@dataclass
+class TraceFanout:
+    """Per-point trace-shard recording for sweep runs.
+
+    ``dir``       directory the shard files are written into;
+    ``sample``    1-in-N quantum sampling for each point's tracer
+                  (``None`` = full fidelity);
+    ``seed``      sampling seed (shared by every point, so identical
+                  configs sample identical quanta);
+    ``capacity``  per-point ring bound (``None`` = unbounded; overflow
+                  is counted in the shard's ``done`` heartbeat).
+    """
+
+    dir: str
+    sample: "int | None" = None
+    seed: int = 0
+    capacity: "int | None" = None
+
+
+def _call_point_shard(func, params: dict, shard: dict):
+    """Worker entry for one traced point: run ``func`` under a fresh
+    tracer and write the events as a shard file (see
+    :mod:`repro.obs.merge`).  Works identically in-process and in a
+    pool worker — each point gets its own tracer either way."""
+    writer = ShardWriter(shard["path"], index=shard["index"],
+                         label=shard["label"], sweep=shard["sweep"],
+                         params=shard["params"], sample=shard["sample"],
+                         seed=shard["seed"])
+    writer.heartbeat("start")
+    tracer = Tracer(capacity=shard["capacity"], sample=shard["sample"],
+                    seed=shard["seed"])
+    start = perf_counter()
+    try:
+        with tracing(tracer):
+            value = func(**params)
+    except BaseException:
+        writer.heartbeat("error")
+        writer.close()
+        raise
+    seconds = perf_counter() - start
+    events = tracer.events()
+    writer.write_events(events)
+    writer.heartbeat("done", events=len(events), dropped=tracer.dropped,
+                     wall_s=seconds)
+    writer.close()
+    return value, seconds
+
+
+def _call_chunk_shard(func, items: "list[tuple[dict, dict]]") -> list:
+    """Chunked variant of :func:`_call_point_shard`."""
+    return [_call_point_shard(func, params, shard)
+            for params, shard in items]
+
+
 class ParallelRunner:
     """Executes sweeps; owns an optional process pool and result cache.
 
@@ -70,17 +136,24 @@ class ParallelRunner:
     ``cache``     a :class:`~repro.exec.cache.ResultCache`, or ``None``
                   to recompute everything.
     ``echo``      keep a progress/ETA line updated on stderr.
+    ``trace``     a :class:`TraceFanout` to record every computed point
+                  as a trace shard (merged afterwards with
+                  :meth:`write_merged_trace`), or ``None``.
     """
 
     def __init__(self, *, jobs: "int | None" = None,
                  cache: "ResultCache | None" = None,
-                 echo: bool = False) -> None:
+                 echo: bool = False,
+                 trace: "TraceFanout | None" = None) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.echo = echo
+        self.trace = trace
         self._executor: "ProcessPoolExecutor | None" = None
+        self._shards: "list[str]" = []
+        self._shard_seq = 0
 
     # ------------------------------------------------------------------
     def effective_jobs(self) -> int:
@@ -121,8 +194,11 @@ class ParallelRunner:
         todo: "list[int]" = []
         keys: "list[str] | None" = None
 
+        # Shard-tracing runs skip cache reads (a cache hit records no
+        # events) but still populate the cache in _finish.
         if self.cache is not None:
             keys = [point_key(spec, p) for p in points]
+        if self.cache is not None and self.trace is None:
             for i, key in enumerate(keys):
                 hit, value = self.cache.get(spec.name, key)
                 if hit:
@@ -133,10 +209,16 @@ class ParallelRunner:
         else:
             todo = list(range(total))
 
+        shards = self._plan_shards(spec, todo)
         jobs = self.effective_jobs()
         if len(todo) <= 1 or jobs == 1:
             for i in todo:
-                value, seconds = _call_point(spec.func, points[i].params)
+                if shards is not None:
+                    value, seconds = _call_point_shard(
+                        spec.func, points[i].params, shards[i])
+                else:
+                    value, seconds = _call_point(spec.func,
+                                                 points[i].params)
                 self._finish(spec, i, keys, results, progress,
                              value, seconds)
         else:
@@ -146,9 +228,16 @@ class ParallelRunner:
             size = max(1, min(_MAX_CHUNK, -(-len(todo) // (jobs * 4))))
             chunks = [todo[at:at + size]
                       for at in range(0, len(todo), size)]
-            futures = {pool.submit(_call_chunk, spec.func,
-                                   [points[i].params for i in chunk]):
-                       chunk for chunk in chunks}
+            if shards is not None:
+                futures = {pool.submit(
+                    _call_chunk_shard, spec.func,
+                    [(points[i].params, shards[i]) for i in chunk]):
+                    chunk for chunk in chunks}
+            else:
+                futures = {pool.submit(
+                    _call_chunk, spec.func,
+                    [points[i].params for i in chunk]):
+                    chunk for chunk in chunks}
             for future in as_completed(futures):
                 chunk = futures[future]
                 for i, (value, seconds) in zip(chunk, future.result()):
@@ -156,6 +245,39 @@ class ParallelRunner:
                                  value, seconds)
         progress.finish()
         return results
+
+    def _plan_shards(self, spec: SweepSpec,
+                     todo: "list[int]") -> "dict[int, dict] | None":
+        """Assign one shard file (with a globally unique index) per
+        computed point; records the paths for the final merge."""
+        fanout = self.trace
+        if fanout is None or not todo:
+            return None
+        os.makedirs(fanout.dir, exist_ok=True)
+        shards: "dict[int, dict]" = {}
+        for i in todo:
+            index = self._shard_seq
+            self._shard_seq = index + 1
+            params = spec.points[i].params
+            label = ",".join(f"{k}={v}" for k, v in sorted(params.items())
+                             if v is not None)
+            path = os.path.join(fanout.dir,
+                                f"{spec.name}-{index:04d}.jsonl")
+            shards[i] = {"path": path, "index": index,
+                         "label": f"{spec.name}[{label}]",
+                         "sweep": spec.name, "params": spec.points[i].key(),
+                         "sample": fanout.sample, "seed": fanout.seed,
+                         "capacity": fanout.capacity}
+            self._shards.append(path)
+        return shards
+
+    def write_merged_trace(self, out) -> "dict | None":
+        """Merge every shard recorded so far (across all sweeps this
+        runner ran) into one Perfetto document at ``out``; returns the
+        merge summary, or ``None`` if nothing was traced."""
+        if not self._shards:
+            return None
+        return write_merged(self._shards, out)
 
     def _finish(self, spec, index, keys, results, progress,
                 value, seconds) -> None:

@@ -1,0 +1,238 @@
+"""The metrics tier: counters, gauges, histograms with exposition.
+
+Where the tracer answers "what happened, in order", metrics answer
+"what is the level right now" — the substrate the future service tier
+(ROADMAP item 3) scrapes.  A :class:`MetricsRegistry` holds named
+metric *families* (optionally labelled, Prometheus-style):
+
+* :class:`Counter` — monotonically increasing totals (packets dropped,
+  memory bytes written);
+* :class:`Gauge` — last-set level (per-tenant IPC, DDIO hit rate,
+  simulated time);
+* :class:`Histogram` — cumulative-bucket distributions (quantum
+  wall-time).
+
+Two exposition formats, both pure functions of the registry state:
+
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text format
+  (``# HELP`` / ``# TYPE`` / ``name{label="v"} value``), ready to serve
+  from a ``/metrics`` endpoint;
+* :meth:`MetricsRegistry.snapshot` — a JSON-able dict for the REST
+  tier and for test assertions.
+
+The process-wide :data:`REGISTRY` is **disabled by default**: the
+engine's hook site checks one attribute per quantum and skips the
+export entirely, so the always-on contract of the tracing tier holds
+here too.  Enable with ``REGISTRY.enabled = True`` (or pass
+``--metrics-out`` to ``repro trace``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY"]
+
+#: Default histogram buckets (seconds): wide enough for both tiny-scale
+#: quanta (~100us) and bench-scale quanta (~100ms+).
+DEFAULT_BUCKETS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+                   1.0, 5.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def sample(self):
+        return self.value
+
+
+class Gauge:
+    """A level that can go up and down; exposes the last set value."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def sample(self):
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket distribution (Prometheus semantics: bucket
+    ``le=x`` counts observations <= x; ``+Inf`` equals ``count``)."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets=DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def sample(self):
+        return {"buckets": dict(zip((str(b) for b in self.buckets),
+                                    self.bucket_counts)),
+                "count": self.count, "sum": self.sum}
+
+
+class _Family:
+    """One named metric family: label-less singleton or labelled children."""
+
+    def __init__(self, name: str, help_text: str, factory) -> None:
+        self.name = name
+        self.help = help_text
+        self._factory = factory
+        self._children: "dict[tuple, object]" = {}
+
+    @property
+    def kind(self) -> str:
+        return self._factory().kind if not self._children else \
+            next(iter(self._children.values())).kind
+
+    def labels(self, **labelset):
+        """The child metric for one label combination (created on first
+        use).  Call with no labels for the family's singleton."""
+        key = tuple(sorted(labelset.items()))
+        child = self._children.get(key)
+        if child is None:
+            child = self._factory()
+            self._children[key] = child
+        return child
+
+    # Convenience: family-level ops act on the label-less singleton.
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def items(self):
+        """``(label_tuple, metric)`` pairs in stable (sorted) order."""
+        return sorted(self._children.items())
+
+
+def _format_labels(labelset: tuple) -> str:
+    if not labelset:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labelset)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    # Prometheus accepts floats everywhere; render integral values bare.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """A named collection of metric families with exposition.
+
+    ``enabled`` gates the producers (hook sites check it once per
+    quantum); consumers may read a disabled registry freely (it is
+    simply empty or stale).
+    """
+
+    def __init__(self, *, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._families: "dict[str, _Family]" = {}
+
+    # -- registration (get-or-create, idempotent) --------------------------
+    def _family(self, name: str, help_text: str, factory) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, help_text, factory)
+            self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "") -> _Family:
+        return self._family(name, help_text, Counter)
+
+    def gauge(self, name: str, help_text: str = "") -> _Family:
+        return self._family(name, help_text, Gauge)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets=DEFAULT_BUCKETS) -> _Family:
+        return self._family(name, help_text,
+                            lambda: Histogram(buckets))
+
+    def clear(self) -> None:
+        """Drop every family (tests and fresh runs)."""
+        self._families.clear()
+
+    # -- exposition --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able state: ``{family: {kind, help, series: {labels: v}}}``."""
+        out: dict = {}
+        for name, family in sorted(self._families.items()):
+            series = {}
+            for labelset, metric in family.items():
+                label_key = ",".join(f"{k}={v}" for k, v in labelset)
+                series[label_key] = metric.sample()
+            out[name] = {"kind": family.kind, "help": family.help,
+                         "series": series}
+        return out
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: "list[str]" = []
+        for name, family in sorted(self._families.items()):
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for labelset, metric in family.items():
+                labels = _format_labels(labelset)
+                if isinstance(metric, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets,
+                                            metric.bucket_counts):
+                        cumulative = count
+                        le = dict(labelset)
+                        le["le"] = _format_value(bound)
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_format_labels(tuple(sorted(le.items())))}"
+                            f" {cumulative}")
+                    inf = dict(labelset)
+                    inf["le"] = "+Inf"
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_format_labels(tuple(sorted(inf.items())))}"
+                        f" {metric.count}")
+                    lines.append(f"{name}_sum{labels} "
+                                 f"{_format_value(metric.sum)}")
+                    lines.append(f"{name}_count{labels} {metric.count}")
+                else:
+                    lines.append(f"{name}{labels} "
+                                 f"{_format_value(metric.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-wide registry the engine's hook sites feed (disabled by
+#: default — one attribute check per quantum when off).
+REGISTRY = MetricsRegistry()

@@ -1,19 +1,23 @@
 """Trace sinks: in-memory ring buffer, JSONL stream, Perfetto export.
 
-A sink receives every :class:`~repro.obs.tracer.TraceEvent` the tracer
-emits via ``emit(event)`` and is flushed/closed by ``close()``.  Three
-are provided:
+Sinks come in two kinds:
 
-* :class:`RingBufferSink` — keeps the last N events (or all of them) in
-  memory; the substrate for the reconstruction views in :mod:`.views`.
-* :class:`JsonlSink` — one JSON object per line, streamed as events
-  arrive; suitable for tailing a long run.
-* :class:`PerfettoSink` — Chrome ``trace_event`` JSON (the legacy JSON
-  flavour Perfetto ingests), so a whole run can be dropped into
-  https://ui.perfetto.dev.  Simulated-time events (instants, counters)
-  land on a ``sim-time`` process whose microseconds are simulated
-  seconds x 1e6; wall-clock spans land on a separate ``wall-time``
-  process, keeping the two time domains visually distinct.
+* **ring-backed** (``streaming = False``) — :class:`RingBufferSink` and
+  :class:`PerfettoSink` attach to the tracer's structured ring
+  (:mod:`repro.obs.ring`) and materialize events lazily, so they add
+  *zero* per-event cost on the hot path.
+* **streaming** (``streaming = True``) — :class:`JsonlSink` receives a
+  materialized :class:`~repro.obs.tracer.TraceEvent` per emission (one
+  JSON object per line, suitable for tailing a long run).
+
+:class:`PerfettoSink` writes Chrome ``trace_event`` JSON (the legacy
+JSON flavour Perfetto ingests), so a whole run can be dropped into
+https://ui.perfetto.dev.  Simulated-time events (instants, counters)
+land on a ``sim-time`` process whose microseconds are simulated seconds
+x 1e6; wall-clock spans land on a separate ``wall-time`` process,
+keeping the two time domains visually distinct.  The same converter
+(:func:`perfetto_events`) is parameterized over pids/labels/offsets so
+:mod:`repro.obs.merge` can lay multiple processes' shards side by side.
 """
 
 from __future__ import annotations
@@ -52,12 +56,22 @@ def event_from_dict(raw: dict) -> TraceEvent:
 
 
 class RingBufferSink:
-    """Keeps the most recent ``capacity`` events (None = unbounded)."""
+    """Keeps the most recent ``capacity`` events (None = unbounded).
+
+    Attached to a tracer it is a lazy view over the tracer's structured
+    ring; standalone (``emit`` called directly) it buffers events itself.
+    """
+
+    streaming = False
 
     def __init__(self, capacity: "int | None" = 65536) -> None:
         self.capacity = capacity
+        self._tracer = None
         self._events: "collections.deque[TraceEvent]" = \
             collections.deque(maxlen=capacity)
+
+    def attach(self, tracer) -> None:
+        self._tracer = tracer
 
     def emit(self, event: TraceEvent) -> None:
         self._events.append(event)
@@ -67,14 +81,25 @@ class RingBufferSink:
 
     def events(self) -> "list[TraceEvent]":
         """Snapshot of the buffered events, oldest first."""
+        if self._tracer is not None:
+            events = self._tracer.events()
+            if self.capacity is not None and len(events) > self.capacity:
+                return events[-self.capacity:]
+            return events
         return list(self._events)
 
     def __len__(self) -> int:
+        if self._tracer is not None:
+            size = len(self._tracer.ring)
+            return size if self.capacity is None \
+                else min(size, self.capacity)
         return len(self._events)
 
 
 class JsonlSink:
     """Streams one JSON object per event to a path or file object."""
+
+    streaming = True
 
     def __init__(self, target) -> None:
         if hasattr(target, "write"):
@@ -94,18 +119,27 @@ class JsonlSink:
             self._handle.close()
 
 
-def perfetto_events(events) -> "list[dict]":
+def perfetto_events(events, *, sim_pid: int = SIM_PID,
+                    wall_pid: int = WALL_PID, label: str = "",
+                    wall_offset_s: float = 0.0,
+                    out: "list[dict] | None" = None) -> "list[dict]":
     """Convert events to Chrome ``trace_event`` dicts (plus metadata).
 
     One thread per category within each time-domain process; thread ids
     are assigned in first-seen order so identical runs produce identical
-    documents.
+    documents.  ``label`` prefixes the process names and
+    ``wall_offset_s`` shifts wall timestamps into a shared clock domain
+    — both used by :mod:`repro.obs.merge` to lay shards from several
+    processes side by side; the defaults reproduce the classic
+    two-process (``sim-time`` pid 1 / ``wall-time`` pid 2) layout.
     """
     tids: "dict[tuple[int, str], int]" = {}
-    out: "list[dict]" = []
-    for pid, label in ((SIM_PID, "sim-time"), (WALL_PID, "wall-time")):
+    out = [] if out is None else out
+    prefix = f"{label} " if label else ""
+    for pid, domain in ((sim_pid, "sim-time"), (wall_pid, "wall-time")):
         out.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
-                    "name": "process_name", "args": {"name": label}})
+                    "name": "process_name",
+                    "args": {"name": f"{prefix}{domain}"}})
 
     def tid_of(pid: int, category: str) -> int:
         key = (pid, category)
@@ -119,23 +153,24 @@ def perfetto_events(events) -> "list[dict]":
 
     for event in events:
         if event.phase == "X":
-            out.append({"ph": "X", "pid": WALL_PID,
-                        "tid": tid_of(WALL_PID, event.category),
-                        "ts": event.wall * 1e6, "dur": event.dur * 1e6,
+            out.append({"ph": "X", "pid": wall_pid,
+                        "tid": tid_of(wall_pid, event.category),
+                        "ts": (event.wall + wall_offset_s) * 1e6,
+                        "dur": event.dur * 1e6,
                         "cat": event.category, "name": event.name,
                         "args": dict(event.args)})
         elif event.phase == "C":
             # Counter tracks accept numeric series only.
             values = {k: v for k, v in event.args.items()
                       if isinstance(v, Number) and not isinstance(v, bool)}
-            out.append({"ph": "C", "pid": SIM_PID,
-                        "tid": tid_of(SIM_PID, event.category),
+            out.append({"ph": "C", "pid": sim_pid,
+                        "tid": tid_of(sim_pid, event.category),
                         "ts": event.ts * 1e6,
                         "name": f"{event.category}.{event.name}",
                         "args": values})
         else:
-            out.append({"ph": "i", "pid": SIM_PID,
-                        "tid": tid_of(SIM_PID, event.category),
+            out.append({"ph": "i", "pid": sim_pid,
+                        "tid": tid_of(sim_pid, event.category),
                         "ts": event.ts * 1e6, "s": "t",
                         "cat": event.category, "name": event.name,
                         "args": dict(event.args)})
@@ -153,17 +188,29 @@ def perfetto_document(events) -> dict:
 
 
 class PerfettoSink:
-    """Buffers events and writes one Perfetto-loadable JSON on close."""
+    """Writes one Perfetto-loadable JSON document on close.
+
+    Attached to a tracer it materializes the tracer's ring at close
+    time (zero per-event cost); standalone it buffers emitted events.
+    """
+
+    streaming = False
 
     def __init__(self, target) -> None:
         self._target = target
+        self._tracer = None
         self._events: "list[TraceEvent]" = []
+
+    def attach(self, tracer) -> None:
+        self._tracer = tracer
 
     def emit(self, event: TraceEvent) -> None:
         self._events.append(event)
 
     def close(self) -> None:
-        doc = perfetto_document(self._events)
+        events = (self._tracer.events() if self._tracer is not None
+                  else self._events)
+        doc = perfetto_document(events)
         if hasattr(self._target, "write"):
             json.dump(doc, self._target)
         else:

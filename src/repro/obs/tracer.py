@@ -13,12 +13,32 @@ the Chrome ``trace_event`` format so export is a direct mapping:
 * ``"C"`` — counter: a named set of numeric series sampled at a point
   in simulated time (DDIO hits/misses, per-tenant IPC, LLC fill rates).
 
-Instrumented subsystems do not hold a tracer; they fetch the process-
-wide current tracer (:func:`current_tracer`) and guard every hook with
-``if tracer.enabled``.  The default is the shared :data:`NULL_TRACER`,
-whose ``enabled`` is False and whose hooks are no-ops, so an untraced
-run pays one attribute load per hook site — the near-zero-overhead-
-when-disabled contract that ``tests/test_obs.py`` enforces.
+Storage is a preallocated NumPy structured ring
+(:class:`~repro.obs.ring.StructRing`): hooks write scalar slots, not
+dataclasses — ``TraceEvent`` objects are materialized only when a sink
+or view asks for them.  A bounded ring (``capacity=N``) keeps the most
+recent N events and counts what it overwrote (:attr:`Tracer.dropped`);
+overflow is reported, never silent.
+
+Always-on operation has three tiers:
+
+* **disabled** — instrumented subsystems fetch the process-wide current
+  tracer (:func:`current_tracer`) once per quantum/burst into a local
+  and guard hooks on ``tracer.enabled``; the default is the shared
+  :data:`NULL_TRACER` whose hooks are no-ops.  :func:`enabled_tracer`
+  (returns ``None`` unless tracing is live) and the module-level
+  :data:`instant_hook`/:data:`counter_hook` trampolines — rebound to
+  no-ops by :func:`install_tracer` whenever tracing is off — let cold
+  call sites compile their hooks down to a single no-op call.
+* **full fidelity** — every event is recorded; the reconstruction
+  guarantees of :mod:`repro.obs.views` hold exactly.
+* **sampled** — ``Tracer(sample=N, seed=s)`` traces 1-in-N simulation
+  quanta, chosen deterministically from ``(seed, quantum index)`` by a
+  splitmix64 hash, so identical runs sample identical quanta.  The
+  engine gates each quantum through :meth:`Tracer.begin_quantum`;
+  un-sampled quanta run the completely hook-free fast path.  A sampled
+  stream carries an ``obs/mode`` marker event, and the exact-replay
+  views refuse it (:class:`~repro.obs.views.SampledStreamError`).
 
 Self-profiling: with ``profiling=True`` the tracer also accumulates
 wall seconds per subsystem key (``profile``), which
@@ -30,6 +50,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from .ring import StructRing
+
+_PHASE_I, _PHASE_C, _PHASE_X = 0, 1, 2
 
 
 @dataclass
@@ -43,7 +67,7 @@ class TraceEvent:
     ``phase``    ``"i"`` instant, ``"X"`` complete span, ``"C"`` counter.
     ``category`` subsystem key (``fsm``, ``mask``, ``shuffle``,
                  ``daemon``, ``sim``, ``dma``, ``llc``, ``ddio``,
-                 ``mem``, ``tenant``, ``metrics``).
+                 ``mem``, ``tenant``, ``metrics``, ``obs``).
     ``name``     event name within the category.
     ``dur``      wall-clock duration, seconds (spans only).
     ``args``     JSON-serialisable payload.
@@ -65,29 +89,72 @@ class TraceEvent:
                 tuple(sorted(self.args.items())))
 
 
+_MASK64 = (1 << 64) - 1
+
+
+def _sample_hash(seed: int, index: int) -> int:
+    """splitmix64 of ``(seed, index)`` — the deterministic coin for
+    sampled mode (same seed, same quantum index -> same decision)."""
+    z = (index + (seed * 0x9E3779B97F4A7C15) + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
 class Tracer:
-    """Routes trace events to a set of sinks (see :mod:`.sinks`).
+    """Records trace events into a structured ring; optionally feeds
+    streaming sinks (see :mod:`.sinks`).
 
     ``enabled=False`` builds a disabled tracer: hooks return without
-    touching the sinks.  ``profiling=True`` additionally accumulates
-    per-subsystem wall time from spans and :meth:`profile_add` calls.
+    touching storage.  ``capacity`` bounds the ring (None = unbounded);
+    ``sample=N`` enables 1-in-N quantum sampling seeded by ``seed``.
+    ``profiling=True`` additionally accumulates per-subsystem wall time
+    from spans and :meth:`profile_add` calls.
     """
 
     def __init__(self, *, enabled: bool = True, profiling: bool = False,
-                 clock=time.perf_counter) -> None:
-        self.enabled = enabled
+                 clock=time.perf_counter, capacity: "int | None" = None,
+                 sample: "int | None" = None, seed: int = 0) -> None:
+        if sample is not None and sample < 1:
+            raise ValueError(f"sample must be >= 1 or None, got {sample}")
         self.profiling = profiling
         self.clock = clock
+        self.sample = sample
+        self.seed = seed
         self.sinks: list = []
+        self._streaming: list = []
         self._epoch = clock()
         self._seq = 0
         self._sim_now = 0.0
         #: Accumulated wall seconds per subsystem key (profiling mode).
         self.profile: "dict[str, float]" = {}
+        #: The structured event storage (see :mod:`repro.obs.ring`).
+        self.ring = StructRing(capacity)
+        self._base_enabled = enabled
+        # Sampled tracers start gated-off; begin_quantum opens sampled
+        # quanta.  Full-fidelity tracers are simply on or off.
+        self.enabled = enabled and sample is None
+        if sample is not None and enabled:
+            # Mode marker: consumers (and the strict exact-replay guard
+            # in views) can recognise a sampled stream from the events
+            # alone, even after a JSONL round trip.
+            self._push(_PHASE_I, "obs", "mode",
+                       0.0, {"sample": sample, "seed": seed})
 
     # -- wiring ------------------------------------------------------------
     def add_sink(self, sink):
-        """Attach a sink; returns it for chaining."""
+        """Attach a sink; returns it for chaining.
+
+        Ring-backed sinks (``streaming = False`` — the ring-buffer and
+        Perfetto sinks) read this tracer's storage lazily and cost
+        nothing per event; streaming sinks (JSONL) receive a
+        materialized :class:`TraceEvent` per emission.
+        """
+        attach = getattr(sink, "attach", None)
+        if attach is not None:
+            attach(self)
+        if getattr(sink, "streaming", True):
+            self._streaming.append(sink)
         self.sinks.append(sink)
         return sink
 
@@ -108,34 +175,49 @@ class Tracer:
     def _wall(self) -> float:
         return self.clock() - self._epoch
 
+    # -- sampling ----------------------------------------------------------
+    def begin_quantum(self, index: int) -> bool:
+        """Per-quantum gate called by the engine.  In sampled mode this
+        flips :attr:`enabled` according to the deterministic 1-in-N
+        decision for ``index``; in full-fidelity mode it is a no-op.
+        Returns whether this quantum is traced."""
+        if self.sample is not None and self._base_enabled:
+            self.enabled = \
+                _sample_hash(self.seed, index) % self.sample == 0
+        return self.enabled
+
     # -- event emission ----------------------------------------------------
-    def _emit(self, phase: str, category: str, name: str, *,
-              dur: float = 0.0, args: "dict | None" = None,
-              wall: "float | None" = None) -> None:
-        event = TraceEvent(seq=self._seq, ts=self._sim_now,
-                           wall=self._wall() if wall is None else wall,
-                           phase=phase, category=category, name=name,
-                           dur=dur, args=args or {})
-        self._seq += 1
-        for sink in self.sinks:
-            sink.emit(event)
+    def _push(self, phase: int, category: str, name: str, dur: float,
+              args: dict, wall: "float | None" = None) -> None:
+        if wall is None:
+            wall = self.clock() - self._epoch
+        seq = self._seq
+        self._seq = seq + 1
+        self.ring.push(seq, self._sim_now, wall, dur, phase,
+                       category, name, args)
+        if self._streaming:
+            event = TraceEvent(seq=seq, ts=self._sim_now, wall=wall,
+                               phase="iCX"[phase], category=category,
+                               name=name, dur=dur, args=args)
+            for sink in self._streaming:
+                sink.emit(event)
 
     def instant(self, category: str, name: str, **args) -> None:
         """Record a typed point event at the current simulated time."""
         if self.enabled:
-            self._emit("i", category, name, args=args)
+            self._push(_PHASE_I, category, name, 0.0, args)
 
     def counter(self, category: str, name: str, **values) -> None:
         """Record a set of numeric counter samples."""
         if self.enabled:
-            self._emit("C", category, name, args=values)
+            self._push(_PHASE_C, category, name, 0.0, values)
 
     def complete(self, category: str, name: str, dur: float,
                  **args) -> None:
         """Record a finished span of ``dur`` wall seconds ending now."""
         if not self.enabled:
             return
-        self._emit("X", category, name, dur=dur, args=args,
+        self._push(_PHASE_X, category, name, dur, args,
                    wall=max(0.0, self._wall() - dur))
         if self.profiling:
             key = f"{category}.{name}"
@@ -149,6 +231,20 @@ class Tracer:
             yield self
         finally:
             self.complete(category, name, self.clock() - start, **args)
+
+    # -- stream access -----------------------------------------------------
+    def events(self) -> "list[TraceEvent]":
+        """Materialize the buffered events, oldest first."""
+        return self.ring.to_events()
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten after a bounded ring filled."""
+        return self.ring.dropped
+
+    def category_counts(self) -> "dict[str, int]":
+        """Buffered event counts per category (for exit summaries)."""
+        return self.ring.category_counts()
 
     # -- self-profiling ----------------------------------------------------
     def profile_add(self, key: str, seconds: float) -> None:
@@ -188,6 +284,9 @@ class NullTracer(Tracer):
     def __init__(self) -> None:
         super().__init__(enabled=False)
 
+    def begin_quantum(self, index) -> bool:
+        return False
+
     def instant(self, category, name, **args) -> None:  # pragma: no cover
         pass
 
@@ -210,17 +309,48 @@ NULL_TRACER = NullTracer()
 _current: Tracer = NULL_TRACER
 
 
+def _noop_hook(category, name, **kwargs) -> None:
+    """Module-level no-op the hook trampolines rebind to when tracing
+    is off — an untraced call site pays one no-op call, nothing else."""
+    return None
+
+
+#: Module-level hook trampolines.  Cold call sites (progress reporting,
+#: cache flushes) invoke these through their owning module
+#: (``tracer.instant_hook(...)``); :func:`install_tracer` rebinds them
+#: to the live tracer's bound methods, and back to :func:`_noop_hook`
+#: when tracing ends — disabled hooks compile out to a no-op call.
+instant_hook = _noop_hook
+counter_hook = _noop_hook
+
+
 def current_tracer() -> Tracer:
     """The process-wide tracer instrumented subsystems report to."""
     return _current
 
 
+def enabled_tracer() -> "Tracer | None":
+    """The current tracer if it is live this quantum, else ``None`` —
+    hot sites cache the result in a local and guard on ``is not None``."""
+    tracer = _current
+    return tracer if tracer.enabled else None
+
+
 def install_tracer(tracer: "Tracer | None") -> Tracer:
     """Install ``tracer`` (None restores the null tracer); returns the
     previously installed tracer so callers can restore it."""
-    global _current
+    global _current, instant_hook, counter_hook
     previous = _current
-    _current = tracer if tracer is not None else NULL_TRACER
+    current = tracer if tracer is not None else NULL_TRACER
+    _current = current
+    # A sampled tracer's .enabled flips per quantum, so bind its methods
+    # (they re-check); a plain disabled tracer binds the no-ops.
+    if current.enabled or current.sample is not None:
+        instant_hook = current.instant
+        counter_hook = current.counter
+    else:
+        instant_hook = _noop_hook
+        counter_hook = _noop_hook
     return previous
 
 

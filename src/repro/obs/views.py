@@ -19,11 +19,41 @@ so a top-level import of ``repro.core`` here would be circular.
 from __future__ import annotations
 
 
+class SampledStreamError(RuntimeError):
+    """Raised when an exact-replay view is fed a sampled-mode stream.
+
+    Sampled tracing (``Tracer(sample=N)``) records only 1-in-N quanta,
+    so reconstructing ``MetricsRecorder`` or the daemon history from it
+    would silently return a subset that *looks* complete.  The views
+    refuse instead; re-run in full-fidelity mode for exact replay.
+    """
+
+
 def _events(source) -> list:
     """Accept a RingBufferSink, a Tracer-owned sink, or a plain list."""
     if hasattr(source, "events"):
         return source.events()
     return list(source)
+
+
+def sampling_mode(source) -> "dict | None":
+    """The stream's ``obs/mode`` marker args if it was recorded in
+    sampled mode (survives JSONL round trips), else None."""
+    for event in _events(source):
+        if (event.category == "obs" and event.name == "mode"
+                and event.args.get("sample")):
+            return dict(event.args)
+    return None
+
+
+def _require_full_fidelity(source, what: str) -> None:
+    mode = sampling_mode(source)
+    if mode is not None:
+        raise SampledStreamError(
+            f"cannot reconstruct {what} from a sampled-mode stream "
+            f"(1-in-{mode['sample']} quanta, seed {mode.get('seed')}): "
+            f"exact metrics replay only holds at full fidelity — "
+            f"re-record without sample=")
 
 
 def select(source, category: str, name: "str | None" = None) -> list:
@@ -36,6 +66,7 @@ def metrics_from_events(source):
     """Rebuild a :class:`~repro.sim.metrics.MetricsRecorder` from the
     ``metrics/quantum`` events — identical to the engine's recorder."""
     from ..sim.metrics import MetricsRecorder, record_from_dict
+    _require_full_fidelity(source, "MetricsRecorder")
     recorder = MetricsRecorder()
     for event in select(source, "metrics", "quantum"):
         recorder.append(record_from_dict(event.args))
@@ -48,6 +79,7 @@ def history_from_events(source) -> list:
     from ..core.daemon import IterationLog
     from ..core.fsm import State
     from ..core.monitor import ChangeKind
+    _require_full_fidelity(source, "IATDaemon.history")
     history = []
     for event in select(source, "daemon", "iteration"):
         args = event.args

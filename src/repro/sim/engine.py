@@ -16,12 +16,14 @@ flows appear...", Fig. 7).
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Protocol
 
 import numpy as np
 
 from ..net.traffic import PhasedTraffic, TrafficGen, TrafficSpec
+from ..obs.metrics import REGISTRY
 from ..obs.tracer import current_tracer
 from ..pci.nic import Nic, VirtualFunction
 from ..tenants.tenant import Tenant, TenantSet
@@ -100,6 +102,7 @@ class Simulation:
         self._ddio_last = (0, 0)
         self._vf_last: "dict[str, tuple[int, int]]" = {}
         self._llc_stats_last: "dict[str, int]" = {}
+        self._quantum_seq = 0
 
     # ------------------------------------------------------------------
     # Scenario construction
@@ -167,9 +170,13 @@ class Simulation:
 
     def _run_quantum(self, dt: float) -> None:
         tracer = current_tracer()
-        if tracer.enabled:
+        index = self._quantum_seq
+        self._quantum_seq = index + 1
+        if tracer.begin_quantum(index):
             self._run_quantum_traced(tracer, dt)
             return
+        metrics_on = REGISTRY.enabled
+        t0 = time.perf_counter() if metrics_on else 0.0
         spec = self.platform.spec
         self._fire_events()
         self.platform.mem.begin_window(dt)
@@ -195,7 +202,9 @@ class Simulation:
                 binding.workload.run(budget, sub_now)
         window_bytes = platform.mem.end_window()
         self.now += dt
-        self._record_quantum(window_bytes, tracer)
+        record = self._record_quantum(window_bytes, tracer)
+        if metrics_on:
+            self._export_metrics(record, time.perf_counter() - t0)
         self._run_controllers()
 
     def _run_quantum_traced(self, tracer, dt: float) -> None:
@@ -238,7 +247,7 @@ class Simulation:
         window_bytes = self.platform.mem.end_window()
         self.now += dt
         t3 = clock()
-        self._record_quantum(window_bytes, tracer)
+        record = self._record_quantum(window_bytes, tracer)
         t4 = clock()
         self._run_controllers()
         t5 = clock()
@@ -247,6 +256,8 @@ class Simulation:
         tracer.profile_add("engine.record", t4 - t3)
         tracer.profile_add("engine.controllers", t5 - t4)
         tracer.complete("sim", "quantum", t5 - t0, t=self.now)
+        if REGISTRY.enabled:
+            self._export_metrics(record, t5 - t0)
 
     def _fire_events(self) -> None:
         while self._events and self._events[0].time <= self.now + 1e-12:
@@ -283,7 +294,7 @@ class Simulation:
                                               traffic.vf.drops)
 
     def _record_quantum(self, window_bytes: "tuple[int, int]",
-                        tracer=None) -> None:
+                        tracer=None) -> QuantumRecord:
         if tracer is None:
             tracer = current_tracer()
         tenants: "dict[str, TenantSnapshot]" = {}
@@ -320,6 +331,7 @@ class Simulation:
         self.metrics.append(record)
         if tracer.enabled:
             self._trace_quantum(tracer, record)
+        return record
 
     def _trace_quantum(self, tracer, record: QuantumRecord) -> None:
         """Emit one quantum's telemetry: the full record (the
@@ -341,3 +353,48 @@ class Simulation:
                        **{key: value - last.get(key, 0)
                           for key, value in stats.items()})
         self._llc_stats_last = stats
+
+    def _export_metrics(self, record: QuantumRecord, wall_s: float) -> None:
+        """Feed the process-wide metrics registry from one quantum's
+        record (callers gate on ``REGISTRY.enabled``)."""
+        reg = REGISTRY
+        reg.gauge("repro_sim_time_seconds",
+                  "Simulated time").set(record.time)
+        reg.histogram("repro_quantum_wall_seconds",
+                      "Wall-clock time per simulation quantum"
+                      ).observe(wall_s)
+        ipc = reg.gauge("repro_tenant_ipc",
+                        "Per-tenant IPC over the last quantum")
+        misses = reg.counter("repro_tenant_llc_misses_total",
+                             "Per-tenant LLC misses")
+        for name, snap in record.tenants.items():
+            ipc.labels(tenant=name).set(snap.ipc)
+            misses.labels(tenant=name).inc(snap.llc_misses)
+        ddio_total = record.ddio_hits + record.ddio_misses
+        reg.gauge("repro_ddio_hit_rate",
+                  "DDIO hit fraction over the last quantum").set(
+            record.ddio_hits / ddio_total if ddio_total else 0.0)
+        reg.counter("repro_ddio_hits_total",
+                    "DDIO (inline DMA) LLC hits").inc(record.ddio_hits)
+        reg.counter("repro_ddio_misses_total",
+                    "DDIO (inline DMA) LLC misses").inc(record.ddio_misses)
+        mem = reg.counter("repro_mem_bytes_total",
+                          "Memory controller traffic in bytes")
+        mem.labels(dir="read").inc(record.mem_read_bytes)
+        mem.labels(dir="write").inc(record.mem_write_bytes)
+        delivered = reg.counter("repro_vf_delivered_total",
+                                "Packets delivered per virtual function")
+        dropped = reg.counter("repro_vf_dropped_total",
+                              "Packets dropped per virtual function")
+        total_delivered = 0
+        total_dropped = 0
+        for name, count in record.vf_delivered.items():
+            drops = record.vf_dropped.get(name, 0)
+            delivered.labels(vf=name).inc(count)
+            dropped.labels(vf=name).inc(drops)
+            total_delivered += count
+            total_dropped += drops
+        offered = total_delivered + total_dropped
+        reg.gauge("repro_vf_drop_rate",
+                  "Packet drop fraction over the last quantum").set(
+            total_dropped / offered if offered else 0.0)

@@ -66,6 +66,31 @@ class TestBenchSchema:
         with pytest.raises(AssertionError):
             runner.validate(broken)
 
+    def test_obs_entry(self, bench_doc):
+        obs = bench_doc["obs"]
+        assert obs["scenario"] == "fig08_leaky_dma"
+        assert obs["repeats"] >= 3
+        assert obs["sample_every"] > 1
+        assert obs["events"] > obs["events_sampled"] > 0
+
+    def test_perf_gate_obs_overhead(self):
+        """The obs gate fails only when fresh enabled_overhead exceeds
+        committed by more than the absolute margin, and stays silent
+        when either document predates the obs section."""
+        checker = _load("check_perf")
+        committed = {"scale": "default", "engine": {"speedup": 10.0},
+                     "obs": {"enabled_overhead": 0.03}}
+        fresh = {"scale": "default", "engine": {"speedup": 10.0},
+                 "obs": {"enabled_overhead": 0.12}}
+        ok, message = checker.check(fresh, committed)
+        assert ok and "obs enabled overhead" in message
+        fresh["obs"]["enabled_overhead"] = 0.14
+        ok, message = checker.check(fresh, committed)
+        assert not ok and "obs enabled overhead" in message
+        ok, message = checker.check(
+            {"scale": "default", "engine": {"speedup": 10.0}}, committed)
+        assert ok and "obs" not in message
+
     def test_perf_gate_thresholds(self):
         """check_perf passes at >= 0.8x committed speedup, fails below,
         and refuses cross-scale comparisons."""

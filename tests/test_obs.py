@@ -22,7 +22,12 @@ from repro.obs import (NULL_TRACER, JsonlSink, PerfettoSink, RingBufferSink,
                        Tracer, current_tracer, event_from_dict,
                        event_to_dict, install_tracer, perfetto_document,
                        tracing, views)
+from repro.obs.merge import (ShardWriter, TraceShard, merged_document,
+                             read_shard, write_merged)
+from repro.obs.ring import StructRing
 from repro.obs.sinks import SIM_PID, WALL_PID
+from repro.obs.tracer import _sample_hash
+from repro.obs.views import SampledStreamError
 from repro.sim.config import TINY_PLATFORM
 
 
@@ -178,6 +183,131 @@ class TestPerfettoSchema:
         assert instant["ts"] == pytest.approx(1.0 * 1e6)
 
 
+class TestStructRing:
+    def test_unbounded_ring_grows(self):
+        tracer, ring = make_tracer()
+        for i in range(3000):
+            tracer.instant("t", "e", i=i)
+        assert len(tracer.ring) == 3000
+        assert tracer.dropped == 0
+        assert [e.args["i"] for e in ring.events()] == list(range(3000))
+
+    def test_bounded_ring_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.instant("t", "e", i=i)
+        assert len(tracer.ring) == 4
+        assert tracer.ring.total == 10
+        assert tracer.dropped == 6
+        assert [e.args["i"] for e in tracer.events()] == [6, 7, 8, 9]
+
+    def test_int_float_fidelity(self):
+        """Inline numeric slots restore Python ints exactly — a counter
+        of 2**40 events must not come back as a float."""
+        tracer = Tracer()
+        tracer.counter("t", "e", small=7, big=2 ** 40, rate=0.25,
+                       flag=True)
+        (event,) = tracer.events()
+        assert event.args["small"] == 7 and \
+            type(event.args["small"]) is int
+        assert event.args["big"] == 2 ** 40 and \
+            type(event.args["big"]) is int
+        assert event.args["rate"] == 0.25 and \
+            type(event.args["rate"]) is float
+        assert event.args["flag"] is True
+
+    def test_rich_args_roundtrip(self):
+        tracer = Tracer()
+        args = {"vf": "vf0", "order": [2, 0, 1],
+                "nested": {"a": 1, "b": [0.5]}}
+        tracer.instant("t", "e", **args)
+        (event,) = tracer.events()
+        assert event.args == args
+
+    def test_category_counts(self):
+        tracer = Tracer()
+        tracer.instant("fsm", "transition")
+        tracer.instant("fsm", "transition")
+        tracer.counter("ddio", "events", hits=1)
+        assert tracer.category_counts() == {"fsm": 2, "ddio": 1}
+
+    def test_bounded_ring_drops_stale_rich_args(self):
+        """Rich (non-inline) payloads of overwritten rows are released."""
+        ring = StructRing(capacity=2)
+        for i in range(6):
+            ring.push(i, 0.0, 0.0, 0.0, 0, "t", "e", {"blob": [i] * 4})
+        assert len(ring._args) == 2
+        assert [e.args["blob"][0] for e in ring.to_events()] == [4, 5]
+
+
+def sampled_tiny_run(sample, seed, duration=0.3):
+    tracer = Tracer(sample=sample, seed=seed)
+    spec = dataclasses.replace(TINY_PLATFORM, llc_backend="array")
+    scen = leaky_dma_scenario(packet_size=512, spec=spec)
+    with tracing(tracer):
+        scen.sim.run(duration)
+    return tracer
+
+
+class TestSampling:
+    def test_mode_marker_is_first_event(self):
+        tracer = Tracer(sample=4, seed=9)
+        event = tracer.events()[0]
+        assert (event.category, event.name) == ("obs", "mode")
+        assert event.args == {"sample": 4, "seed": 9}
+        assert views.sampling_mode(tracer.events()) == \
+            {"sample": 4, "seed": 9}
+
+    def test_sample_hash_deterministic_and_seed_sensitive(self):
+        chosen = {seed: {i for i in range(1000)
+                         if _sample_hash(seed, i) % 8 == 0}
+                  for seed in (0, 1)}
+        assert chosen[0] and chosen[0] != chosen[1]
+        assert chosen[0] == {i for i in range(1000)
+                             if _sample_hash(0, i) % 8 == 0}
+
+    def test_same_seed_same_sampled_event_set(self):
+        first = sampled_tiny_run(sample=3, seed=5)
+        second = sampled_tiny_run(sample=3, seed=5)
+        keys_first = [e.key() for e in first.events()]
+        keys_second = [e.key() for e in second.events()]
+        assert len(keys_first) > 1  # marker plus sampled quanta
+        assert keys_first == keys_second
+
+    def test_sampled_is_subset_of_full(self):
+        sampled = sampled_tiny_run(sample=3, seed=5)
+        full = Tracer()
+        spec = dataclasses.replace(TINY_PLATFORM, llc_backend="array")
+        scen = leaky_dma_scenario(packet_size=512, spec=spec)
+        with tracing(full):
+            scen.sim.run(0.3)
+        sampled_quanta = len(views.select(sampled.events(), "sim",
+                                          "quantum"))
+        full_quanta = len(views.select(full.events(), "sim", "quantum"))
+        assert 0 < sampled_quanta < full_quanta
+
+    def test_views_refuse_sampled_stream(self):
+        tracer = sampled_tiny_run(sample=2, seed=0)
+        with pytest.raises(SampledStreamError, match="sampled-mode"):
+            views.metrics_from_events(tracer.events())
+        with pytest.raises(SampledStreamError):
+            views.history_from_events(tracer.events())
+
+    def test_views_refuse_sampled_stream_after_jsonl(self):
+        """The mode marker survives serialization, so the guard holds
+        on a stream read back from disk too."""
+        tracer = sampled_tiny_run(sample=2, seed=0)
+        lines = [json.dumps(event_to_dict(e)) for e in tracer.events()]
+        decoded = [event_from_dict(json.loads(line)) for line in lines]
+        with pytest.raises(SampledStreamError):
+            views.metrics_from_events(decoded)
+
+    def test_full_fidelity_has_no_mode_marker(self):
+        tracer, ring = make_tracer()
+        tracer.instant("metrics", "quantum")
+        assert views.sampling_mode(ring) is None
+
+
 GEOM = CacheGeometry(ways=4, sets_per_slice=8, slices=2)
 
 
@@ -269,6 +399,162 @@ class TestDeterminism:
         first, second = keys(), keys()
         assert len(first) > 0
         assert first == second
+
+
+def make_shard_events(n, wall0=0.0):
+    tracer = Tracer(clock=iter(
+        wall0 + 0.001 * i for i in range(2 * n + 4)).__next__)
+    for i in range(n):
+        tracer.set_sim_time(0.1 * i)
+        tracer.instant("test", "tick", i=i)
+    tracer.complete("test", "span", 0.01, i=n)
+    return tracer.events()
+
+
+class TestMerge:
+    def test_shard_roundtrip(self, tmp_path):
+        path = tmp_path / "shard-0.jsonl"
+        writer = ShardWriter(str(path), index=3, label="fig8[x=1]",
+                             sweep="fig8", params="[('x', 1)]",
+                             sample=None, seed=0)
+        writer.heartbeat("start")
+        events = make_shard_events(4)
+        writer.write_events(events)
+        writer.heartbeat("done", events=len(events), dropped=0,
+                         wall_s=0.5)
+        writer.close()
+        shard = read_shard(str(path))
+        assert shard.index == 3 and shard.label == "fig8[x=1]"
+        assert shard.meta["schema"] == "repro-trace-shard/1"
+        assert shard.epoch_unix > 0
+        assert not shard.sampled
+        assert [h["status"] for h in shard.heartbeats] == ["start", "done"]
+        assert shard.heartbeats[-1]["wall_s"] == 0.5
+        assert shard.events == events
+
+    def two_shards(self):
+        return [
+            TraceShard(meta={"index": 0, "label": "p0",
+                             "epoch_unix": 100.0},
+                       events=make_shard_events(2)),
+            TraceShard(meta={"index": 1, "label": "p1",
+                             "epoch_unix": 100.5},
+                       events=make_shard_events(2)),
+        ]
+
+    def test_merged_layout_and_ordering(self):
+        # Present shards out of order: the merge must sort by index.
+        doc = merged_document(list(reversed(self.two_shards())))
+        events = doc["traceEvents"]
+        json.dumps(doc)  # valid JSON document
+        assert doc["otherData"]["shards"] == 2
+        assert doc["otherData"]["shard_labels"] == ["p0", "p1"]
+        # Shard k occupies pids 2k+1 (sim) and 2k+2 (wall).
+        assert {e["pid"] for e in events} == {1, 2, 3, 4}
+        names = {(e["pid"], e["args"]["name"]) for e in events
+                 if e.get("name") == "process_name"}
+        assert names == {(1, "p0 sim-time"), (2, "p0 wall-time"),
+                         (3, "p1 sim-time"), (4, "p1 wall-time")}
+
+    def test_merged_clock_domain_offsets(self):
+        """Wall spans are shifted by each shard's epoch offset from the
+        earliest shard, aligning every worker on one timeline."""
+        shards = self.two_shards()
+        doc = merged_document(shards)
+        spans = {e["pid"]: e for e in doc["traceEvents"]
+                 if e["ph"] == "X"}
+        wall0 = shards[0].events[-1].wall
+        wall1 = shards[1].events[-1].wall
+        assert spans[2]["ts"] == pytest.approx(wall0 * 1e6)
+        assert spans[4]["ts"] == pytest.approx((wall1 + 0.5) * 1e6)
+
+    def test_single_shard_degenerates_to_classic_layout(self):
+        events = make_shard_events(2)
+        doc = merged_document(
+            [TraceShard(meta={"index": 0, "label": ""}, events=events)])
+        classic = perfetto_document(events)
+        assert doc["traceEvents"] == classic["traceEvents"]
+
+    def test_write_merged_summary(self, tmp_path):
+        paths = []
+        for k in range(2):
+            path = tmp_path / f"shard-{k}.jsonl"
+            writer = ShardWriter(str(path), index=k, label=f"p{k}",
+                                 sweep="s", params="", sample=None,
+                                 seed=0)
+            writer.heartbeat("start")
+            events = make_shard_events(3)
+            writer.write_events(events)
+            writer.heartbeat("done", events=len(events), dropped=k,
+                             wall_s=0.1)
+            writer.close()
+            paths.append(str(path))
+        out = tmp_path / "merged.json"
+        summary = write_merged(paths, str(out))
+        assert summary == {"shards": 2, "events": 8, "dropped": 1,
+                           "incomplete": 0}
+        doc = json.loads(out.read_text())
+        assert doc["otherData"]["producer"] == "repro.obs.merge"
+        assert doc["traceEvents"]
+
+    def test_incomplete_shard_is_counted(self, tmp_path):
+        path = tmp_path / "shard-0.jsonl"
+        writer = ShardWriter(str(path), index=0, label="p0", sweep="s")
+        writer.heartbeat("start")  # no "done": the worker died
+        writer.close()
+        summary = write_merged([str(path)], str(tmp_path / "out.json"))
+        assert summary["incomplete"] == 1
+
+
+def shard_point(n):
+    """Module-level sweep point that emits ``n`` trace events."""
+    tracer = current_tracer()
+    for i in range(n):
+        tracer.instant("point", "tick", i=i)
+    return n * 2
+
+
+class TestRunnerShards:
+    def run_sweep(self, tmp_path, jobs):
+        from repro.exec.runner import ParallelRunner, TraceFanout
+        from repro.exec.sweep import SweepSpec
+        spec = SweepSpec.from_points("shardtest", shard_point,
+                                     [{"n": n} for n in (2, 3, 4, 5)])
+        fanout = TraceFanout(str(tmp_path / "shards"))
+        with ParallelRunner(jobs=jobs, trace=fanout) as runner:
+            results = runner.run(spec)
+            out = tmp_path / "merged.json"
+            summary = runner.write_merged_trace(str(out))
+        return results, summary, out
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_traced_sweep_produces_merged_document(self, tmp_path, jobs):
+        results, summary, out = self.run_sweep(tmp_path, jobs)
+        assert results == [4, 6, 8, 10]
+        assert summary["shards"] == 4
+        assert summary["events"] == 2 + 3 + 4 + 5
+        assert summary["dropped"] == 0 and summary["incomplete"] == 0
+        doc = json.loads(out.read_text())
+        # 4 shards x 2 time domains, pids 1..8.
+        assert {e["pid"] for e in doc["traceEvents"]} == set(range(1, 9))
+
+    def test_trace_skips_cache_reads_but_writes(self, tmp_path):
+        from repro.exec.cache import ResultCache
+        from repro.exec.runner import ParallelRunner, TraceFanout
+        from repro.exec.sweep import SweepSpec
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = SweepSpec.from_points("shardtest", shard_point,
+                                     [{"n": 2}, {"n": 3}])
+        with ParallelRunner(jobs=1, cache=cache) as runner:
+            runner.run(spec)  # populate the cache
+        fanout = TraceFanout(str(tmp_path / "shards"))
+        with ParallelRunner(jobs=1, cache=cache, trace=fanout) as runner:
+            results = runner.run(spec)
+            summary = runner.write_merged_trace(
+                str(tmp_path / "merged.json"))
+        assert results == [4, 6]
+        # Cached points were recomputed so their shards carry events.
+        assert summary["shards"] == 2 and summary["events"] == 5
 
 
 class TestOverheadGuard:
