@@ -24,6 +24,8 @@ import time
 from repro.experiments.common import leaky_dma_scenario
 from repro.obs import Tracer, tracing
 from repro.sim.config import TINY_PLATFORM, XEON_6140
+from repro.workloads import netbase
+from repro.workloads.base import ENGINE_STATS
 
 
 def _fingerprint(metrics) -> list:
@@ -45,14 +47,28 @@ def _scenario(backend: str, scale: str):
     return spec, 1500, 2.0
 
 
+#: Timed repetitions per backend; the reported time is the minimum.
+#: The simulation is deterministic, so run-to-run spread is pure host
+#: noise (scheduler, page cache) — strictly additive, which makes the
+#: minimum the least-noisy estimator (same reasoning as ``timeit``;
+#: ``bench_obs`` medians paired ratios for the same container-noise
+#: problem).
+REPEATS = 3
+
+
 def _run_backend(backend: str, *, scale: str,
                  exec_mode: str = "vector") -> "tuple[float, list, dict]":
     spec, packet_size, duration = _scenario(backend, scale)
-    scen = leaky_dma_scenario(packet_size=packet_size, spec=spec)
-    scen.sim.exec_mode = exec_mode
-    t0 = time.perf_counter()
-    metrics = scen.sim.run(duration)
-    elapsed = time.perf_counter() - t0
+    elapsed = float("inf")
+    for _ in range(REPEATS):
+        # Reset per repetition so the ENGINE_STATS the caller samples
+        # afterwards describe exactly one (deterministic) run.
+        ENGINE_STATS.reset()
+        scen = leaky_dma_scenario(packet_size=packet_size, spec=spec)
+        scen.sim.exec_mode = exec_mode
+        t0 = time.perf_counter()
+        metrics = scen.sim.run(duration)
+        elapsed = min(elapsed, time.perf_counter() - t0)
     params = {"packet_size": packet_size, "duration_s": duration}
     return elapsed, _fingerprint(metrics), params
 
@@ -81,8 +97,26 @@ def _stage_shares(scale: str) -> dict:
 
 def run_engine(scale: str = "default") -> dict:
     """Time fig. 8 leaky-DMA, vectorized array backend vs. the scalar
-    per-packet reference; returns one result dict."""
+    per-packet reference; returns one result dict.
+
+    The vectorized run is timed twice: with speculative run-ahead
+    admission (the default) and with the worst-case-bound admission it
+    replaced (``netbase.SPECULATION = False``), so the committed
+    document records both the end-to-end speedup and how much of it
+    speculation contributes (``spec_speedup``, plus the chunk-size and
+    rollback statistics from :data:`ENGINE_STATS`).
+    """
     array_s, array_fp, params = _run_backend("array", scale=scale)
+    spec_stats = ENGINE_STATS.snapshot()
+    chunk_mean = ENGINE_STATS.mean_chunk()
+    rollback_rate = ENGINE_STATS.rollback_rate()
+    launches = ENGINE_STATS.launches_per_chunk()
+    netbase.SPECULATION = False
+    try:
+        nospec_s, nospec_fp, _ = _run_backend("array", scale=scale)
+    finally:
+        netbase.SPECULATION = True
+    chunk_mean_nospec = ENGINE_STATS.mean_chunk()
     scalar_s, scalar_fp, _ = _run_backend("scalar", scale=scale,
                                           exec_mode="scalar")
     return {
@@ -91,8 +125,21 @@ def run_engine(scale: str = "default") -> dict:
         "scalar_s": scalar_s,
         "array_s": array_s,
         "speedup": scalar_s / array_s if array_s else 0.0,
-        "metrics_match": scalar_fp == array_fp,
+        "metrics_match": scalar_fp == array_fp == nospec_fp,
         "quanta": len(array_fp),
+        # Speculative admission vs. the worst-case-bound reference
+        # (same array backend, same vector pipeline).
+        "array_nospec_s": nospec_s,
+        "spec_speedup": nospec_s / array_s if array_s else 0.0,
+        "chunk_packets_mean": chunk_mean,
+        "chunk_packets_mean_nospec": chunk_mean_nospec,
+        "spec": {
+            "spec_chunks": spec_stats["spec_chunks"],
+            "rollbacks": spec_stats["rollbacks"],
+            "rollback_rate": rollback_rate,
+            "wasted_packets": spec_stats["wasted_packets"],
+            "kernel_launches_per_chunk": launches,
+        },
         # Where the vectorized run spends its quantum loop (profiled
         # separately; shares of traffic/workloads/record/controllers).
         "stages": _stage_shares(scale),

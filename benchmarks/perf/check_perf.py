@@ -14,7 +14,10 @@ the scalar reference — or when the fresh tracing overhead
 ``--obs-margin`` (default 0.10 absolute, i.e. ten percentage points; an
 overhead is already a same-host ratio, so an absolute margin is the
 meaningful unit).  The obs gate only engages when both documents carry
-an ``obs`` section.  Speedups and overheads are ratios of two runs on
+an ``obs`` section.  ``--engine-floor`` adds an *absolute* speedup
+floor on top of the relative gate: CI pins it to 0.8x the speedup the
+speculative run-ahead engine committed, so the gate keeps biting even
+if a slower document is ever (re-)committed.  Speedups and overheads are ratios of two runs on
 the same host, so they are comparable across machines in a way
 wall-clock is not; the two documents must still be at the same
 ``--scale``, because the tiny geometry has a different vector/scalar
@@ -33,7 +36,8 @@ DEFAULT_COMMITTED = os.path.join(_HERE, "BENCH_llc.json")
 
 
 def check(fresh: dict, committed: dict, threshold: float = 0.8,
-          obs_margin: float = 0.10) -> "tuple[bool, str]":
+          obs_margin: float = 0.10,
+          engine_floor: "float | None" = None) -> "tuple[bool, str]":
     """``(ok, message)`` for a fresh-vs-committed comparison."""
     if fresh.get("scale") != committed.get("scale"):
         raise ValueError(
@@ -47,6 +51,14 @@ def check(fresh: dict, committed: dict, threshold: float = 0.8,
     messages = [f"engine speedup: fresh {fresh_speedup:.2f}x vs committed "
                 f"{committed_speedup:.2f}x (floor {floor:.2f}x = "
                 f"{threshold:.0%} of committed)"]
+    if engine_floor is not None:
+        # Absolute floor: unlike --threshold (relative to whatever is
+        # committed), this pins the speedup the speculative run-ahead
+        # engine is expected to deliver, so a PR cannot regress the
+        # engine and "fix" the gate by committing the slower document.
+        ok = ok and fresh_speedup >= engine_floor
+        messages.append(f"engine floor: fresh {fresh_speedup:.2f}x vs "
+                        f"required {engine_floor:.2f}x (absolute)")
     fresh_obs = fresh.get("obs") or {}
     committed_obs = committed.get("obs") or {}
     if "enabled_overhead" in fresh_obs and \
@@ -73,6 +85,10 @@ def main(argv=None) -> int:
     parser.add_argument("--obs-margin", type=float, default=0.10,
                         help="max absolute increase of obs "
                              "enabled_overhead over committed")
+    parser.add_argument("--engine-floor", type=float, default=None,
+                        help="absolute minimum engine speedup (CI pins "
+                             "this to 0.8x the committed run-ahead "
+                             "number so the gate survives re-commits)")
     args = parser.parse_args(argv)
     with open(args.fresh) as handle:
         fresh = json.load(handle)
@@ -80,7 +96,7 @@ def main(argv=None) -> int:
         committed = json.load(handle)
     try:
         ok, message = check(fresh, committed, args.threshold,
-                            args.obs_margin)
+                            args.obs_margin, args.engine_floor)
     except ValueError as error:
         print(f"check_perf: {error}")
         return 2

@@ -25,10 +25,11 @@ for path in (_HERE, _SRC):
     if path not in sys.path:
         sys.path.insert(0, path)
 
-from bench_engine import run_engine  # noqa: E402
-from bench_llc import run_micro      # noqa: E402
-from bench_obs import run_obs        # noqa: E402
-from bench_suite import run_suite    # noqa: E402
+from bench_engine import run_engine        # noqa: E402
+from bench_llc import run_micro            # noqa: E402
+from bench_obs import run_obs              # noqa: E402
+from bench_rollback import run_rollback    # noqa: E402
+from bench_suite import run_suite          # noqa: E402
 
 SCHEMA = "repro-bench-llc/1"
 DEFAULT_OUT = os.path.join(_HERE, "BENCH_llc.json")
@@ -37,6 +38,7 @@ DEFAULT_OUT = os.path.join(_HERE, "BENCH_llc.json")
 def run(scale: str = "default") -> dict:
     micro = run_micro(scale)
     engine = run_engine(scale)
+    rollback = run_rollback(scale)
     obs = run_obs(scale)
     suite = run_suite(scale)
     return {
@@ -46,6 +48,8 @@ def run(scale: str = "default") -> dict:
         "scale": scale,
         "micro": micro,
         "engine": engine,
+        # COW journal cost (repro.cache): plain vs. journaled vs. rollback.
+        "rollback": rollback,
         # Tracing overhead (repro.obs): baseline vs. disabled vs. enabled.
         "obs": obs,
         # Sweep execution (repro.exec): serial vs. parallel vs. warm cache.
@@ -72,6 +76,22 @@ def validate(doc: dict) -> None:
                 "array_s", "speedup", "metrics_match", "quanta"):
         assert key in engine, f"engine result missing {key}"
     assert engine["metrics_match"] is True, "backends diverged"
+    if "spec" in engine:  # absent in pre-speculation documents (additive)
+        for key in ("array_nospec_s", "spec_speedup", "chunk_packets_mean",
+                    "chunk_packets_mean_nospec"):
+            assert key in engine, f"engine result missing {key}"
+        for key in ("spec_chunks", "rollbacks", "rollback_rate",
+                    "wasted_packets", "kernel_launches_per_chunk"):
+            assert key in engine["spec"], f"engine spec missing {key}"
+        assert 0.0 <= engine["spec"]["rollback_rate"] <= 1.0
+    rollback = doc.get("rollback")
+    if rollback is not None:  # absent in pre-journal documents (additive)
+        for key in ("accesses", "chunk", "plain_s", "journaled_s",
+                    "journal_overhead", "rollback_s", "restored_ok"):
+            assert key in rollback, f"rollback result missing {key}"
+        assert rollback["restored_ok"] is True, \
+            "rollback failed to restore the pre-snapshot LLC state"
+        assert rollback["plain_s"] > 0 and rollback["journaled_s"] > 0
     stages = engine.get("stages")
     if stages is not None:  # absent in pre-breakdown documents (additive)
         assert isinstance(stages, dict)
@@ -127,9 +147,25 @@ def main(argv=None) -> int:
           f"  array {engine['array_s']:.3f}s"
           f"  speedup {engine['speedup']:.2f}x"
           f"  metrics_match={engine['metrics_match']}")
+    if "spec" in engine:
+        spec = engine["spec"]
+        print(f"       spec: nospec {engine['array_nospec_s']:.3f}s"
+              f" ({engine['spec_speedup']:.2f}x from run-ahead)"
+              f"  chunk mean {engine['chunk_packets_mean']:.1f}"
+              f" (vs {engine['chunk_packets_mean_nospec']:.1f} worst-case)"
+              f"  rollbacks {spec['rollbacks']}/{spec['spec_chunks']}"
+              f" ({spec['rollback_rate']:.1%})")
     for name, share in sorted(engine.get("stages", {}).items(),
                               key=lambda kv: kv[1], reverse=True):
         print(f"       stage {name:>12}: {share:.1%}")
+    rollback = doc.get("rollback")
+    if rollback is not None:
+        print(f"rollback x{rollback['accesses']}: "
+              f"plain {rollback['plain_s']:.3f}s"
+              f"  journaled {rollback['journaled_s']:.3f}s"
+              f" ({rollback['journal_overhead']:+.1%})"
+              f"  rollback {rollback['rollback_s']:.3f}s"
+              f"  restored_ok={rollback['restored_ok']}")
     obs = doc["obs"]
     line = (f"obs    {obs['scenario']}: baseline {obs['baseline_s']:.3f}s"
             f"  disabled {obs['disabled_overhead']:+.1%}"

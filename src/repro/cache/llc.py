@@ -32,6 +32,16 @@ set are applied in vector order; accesses to different sets are
 independent under LRU, so the engine may process them concurrently.
 Under the ``"random"`` policy the replacement LCG is global state, so
 batches degrade to an in-order loop to keep seed-for-seed equivalence.
+
+The array backend additionally supports cheap speculation via a
+copy-on-write journal: :meth:`SlicedLLC.snapshot` arms per-cell
+pre-image logging at every mutation site, :meth:`SlicedLLC.rollback`
+replays the journal in reverse and restores the scalar state
+(clock/occupancy/cumulative stats/LCG), and :meth:`SlicedLLC.commit`
+drops the journal.  The vectorized drains use this for optimistic
+run-ahead chunk admission (execute a large chunk, roll back on budget
+overshoot) — journal cost is proportional to the cells *touched*, not
+to cache size.
 """
 
 from __future__ import annotations
@@ -67,6 +77,11 @@ _VECTOR_MIN = 8
 #: Same-set follower groups smaller than this are applied with the
 #: per-access loop instead of further vectorized rounds.
 _SEQ_MAX = 24
+
+#: Journal entry kinds: a recency/dirty update (hit path) or a full
+#: cell replacement (fill path).  Entries store flat-slot pre-images.
+_J_TOUCH = 0
+_J_FILL = 1
 
 
 @lru_cache(maxsize=4096)
@@ -270,6 +285,12 @@ class SlicedLLC:
         # Cheap deterministic LCG for the random policy (avoids numpy
         # overhead in the per-access hot path).
         self._rand_state = seed or 1
+        # Copy-on-write journal: None when inactive; a list of
+        # (_J_TOUCH/_J_FILL, slots, pre-images...) entries while a
+        # snapshot is armed.  Mutation sites append pre-images before
+        # writing, so rollback replays them in reverse.
+        self._journal: "list[tuple] | None" = None
+        self._snap: "tuple | None" = None
         # Incremental occupancy accounting: owner id -> valid lines.
         self._occ: "dict[int, int]" = {}
         self._valid = 0
@@ -280,6 +301,71 @@ class SlicedLLC:
         self.stat_writebacks = 0
         self.stat_ddio_hits = 0
         self.stat_ddio_misses = 0
+
+    # ------------------------------------------------------------------
+    # Speculation: copy-on-write snapshot / rollback
+    # ------------------------------------------------------------------
+    @property
+    def can_snapshot(self) -> bool:
+        """Whether this backend supports :meth:`snapshot` (array only)."""
+        return self.backend == "array"
+
+    def snapshot(self) -> None:
+        """Arm copy-on-write journaling of every subsequent mutation.
+
+        Only the array backend supports snapshots (the journal stores
+        flat-slot pre-images of the structure-of-arrays state).  Exactly
+        one snapshot may be active at a time; close it with
+        :meth:`rollback` or :meth:`commit`.
+        """
+        if self.backend != "array":
+            raise RuntimeError("snapshot() requires the array backend")
+        if self._journal is not None:
+            raise RuntimeError("a snapshot is already active")
+        self._journal = []
+        self._snap = (self._clock, self._valid, dict(self._occ),
+                      self.stat_fills, self.stat_evictions,
+                      self.stat_writebacks, self.stat_ddio_hits,
+                      self.stat_ddio_misses, self._rand_state)
+
+    def rollback(self) -> None:
+        """Restore the state captured by the active :meth:`snapshot`.
+
+        Cell pre-images are replayed newest-first; duplicate slots in
+        one entry are safe because every pre-image was read before any
+        write of its site, so duplicates carry identical values.
+        """
+        journal = self._journal
+        if journal is None:
+            raise RuntimeError("rollback() without an active snapshot")
+        tags = self._tags_flat
+        stamps = self._stamp_flat
+        dirty = self._dirty_flat
+        owner = self._owner_flat
+        for entry in reversed(journal):
+            if entry[0] == _J_TOUCH:
+                _, slots, spre, dpre = entry
+                stamps[slots] = spre
+                dirty[slots] = dpre
+            else:
+                _, slots, tpre, spre, dpre, opre = entry
+                tags[slots] = tpre
+                stamps[slots] = spre
+                dirty[slots] = dpre
+                owner[slots] = opre
+        (self._clock, self._valid, occ, self.stat_fills,
+         self.stat_evictions, self.stat_writebacks, self.stat_ddio_hits,
+         self.stat_ddio_misses, self._rand_state) = self._snap
+        self._occ = occ
+        self._journal = None
+        self._snap = None
+
+    def commit(self) -> None:
+        """Drop the active snapshot's journal, keeping all mutations."""
+        if self._journal is None:
+            raise RuntimeError("commit() without an active snapshot")
+        self._journal = None
+        self._snap = None
 
     # ------------------------------------------------------------------
     # Core access paths
@@ -312,6 +398,12 @@ class SlicedLLC:
             except ValueError:
                 way = -1
             if way >= 0:
+                journal = self._journal
+                if journal is not None:
+                    slot = index * self._nways + way
+                    journal.append((_J_TOUCH, slot,
+                                    int(self._stamp_flat[slot]),
+                                    bool(self._dirty_flat[slot])))
                 self._stamp[index, way] = self._clock
                 if write:
                     self._dirty[index, way] = True
@@ -427,6 +519,10 @@ class SlicedLLC:
         if hit0.all():
             out = _empty_batch(n)
             slot = index * ways + eq.argmax(axis=1)
+            journal = self._journal
+            if journal is not None:
+                journal.append((_J_TOUCH, slot, self._stamp_flat[slot],
+                                self._dirty_flat[slot]))
             if n > 1:
                 # Duplicate (set, way) pairs take the latest stamp, as
                 # the scalar loop would leave them.
@@ -505,6 +601,8 @@ class SlicedLLC:
         dirty_m = self._dirty
         owner_m = self._owner
         occ = self._occ
+        journal = self._journal
+        ways = self._nways
         for i in sel:
             row = int(index[i])
             tg = int(tag[i])
@@ -514,6 +612,10 @@ class SlicedLLC:
             except ValueError:
                 way = -1
             if way >= 0:
+                if journal is not None:
+                    journal.append((_J_TOUCH, row * ways + way,
+                                    int(stamp_m[row, way]),
+                                    bool(dirty_m[row, way])))
                 stamp_m[row, way] = clk[i]
                 if _pick(write, i):
                     dirty_m[row, way] = True
@@ -558,6 +660,11 @@ class SlicedLLC:
             else:
                 self._valid += 1
             occ[new_owner] = occ.get(new_owner, 0) + 1
+            if journal is not None:
+                journal.append((_J_FILL, row * ways + victim,
+                                row_tags[victim], stamps[victim],
+                                bool(dirty_m[row, victim]),
+                                int(owner_m[row, victim])))
             tags_m[row, victim] = tg
             stamp_m[row, victim] = clk[i]
             dirty_m[row, victim] = bool(_pick(write, i))
@@ -581,10 +688,14 @@ class SlicedLLC:
             eq = row_tags == tag[sel][:, None]
             hit = eq.any(axis=1)
         nhit = int(np.count_nonzero(hit))
+        journal = self._journal
         if nhit:
             way = eq.argmax(axis=1)
             if nhit == m:
                 slot = rows * ways + way
+                if journal is not None:
+                    journal.append((_J_TOUCH, slot, self._stamp_flat[slot],
+                                    self._dirty_flat[slot]))
                 self._stamp_flat[slot] = clk if sel is None else clk[sel]
                 self._set_dirty(slot, _pick(write, sel)
                                 if sel is not None else write)
@@ -595,6 +706,9 @@ class SlicedLLC:
                 return
             hit_sel = np.flatnonzero(hit) if sel is None else sel[hit]
             slot = rows[hit] * ways + way[hit]
+            if journal is not None:
+                journal.append((_J_TOUCH, slot, self._stamp_flat[slot],
+                                self._dirty_flat[slot]))
             self._stamp_flat[slot] = clk[hit_sel]
             self._set_dirty(slot, _pick(write, hit_sel))
             out.hit[hit_sel] = True
@@ -640,13 +754,21 @@ class SlicedLLC:
                        _STAMP_HI)
         victim = key.argmin(axis=1)
         fslot = miss_rows * ways + victim
-        victim_tags = mtags.reshape(-1)[np.arange(k, dtype=np.int64)
-                                        * ways + victim]
+        vidx = np.arange(k, dtype=np.int64) * ways + victim
+        victim_tags = mtags.reshape(-1)[vidx]
         evicted = victim_tags != EMPTY
         dirty_flat = self._dirty_flat
-        writeback = evicted & dirty_flat[fslot]
+        dirty_pre = dirty_flat[fslot]
+        writeback = evicted & dirty_pre
         victim_owner = self._owner_flat[fslot]
         new_owner = _pick(owner, miss_sel)
+        if journal is not None:
+            # ``victim_tags``/``victim_owner``/``dirty_pre`` are fresh
+            # fancy-index gathers of the pre-write state; only the
+            # victims' stamps still need one.
+            journal.append((_J_FILL, fslot, victim_tags,
+                            stamps.reshape(-1)[vidx], dirty_pre,
+                            victim_owner))
         self._tags_flat[fslot] = tag[miss_sel]
         self._stamp_flat[fslot] = clk[miss_sel]
         dirty_flat[fslot] = _pick(write, miss_sel)
@@ -747,6 +869,12 @@ class SlicedLLC:
             writeback = evicted and bool(self._dirty[index, victim])
             victim_owner = int(self._owner[index, victim]) if evicted \
                 else None
+            journal = self._journal
+            if journal is not None:
+                journal.append((_J_FILL, index * self._nways + victim,
+                                tags[victim], stamps[victim],
+                                bool(self._dirty[index, victim]),
+                                int(self._owner[index, victim])))
             self._tags[index, victim] = tag
             self._stamp[index, victim] = self._clock
             self._dirty[index, victim] = write
@@ -814,6 +942,8 @@ class SlicedLLC:
 
     def flush(self) -> None:
         """Invalidate every line (no writeback accounting)."""
+        if self._journal is not None:
+            raise RuntimeError("flush() during an active snapshot")
         # A cold site on no hot loop: the module trampoline is a no-op
         # unless a tracer is installed and live.
         _obs.instant_hook("llc", "flush", valid_lines=self._valid)

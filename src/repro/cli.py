@@ -246,6 +246,7 @@ def _cmd_suite(args) -> int:
 def _cmd_trace(args) -> int:
     from .obs import (JsonlSink, PerfettoSink, RingBufferSink, Tracer,
                       tracing)
+    from .workloads.base import ENGINE_STATS
 
     entry = FIGURES.get(args.id)
     if entry is None:
@@ -263,6 +264,7 @@ def _cmd_trace(args) -> int:
         from .obs.metrics import REGISTRY
         REGISTRY.clear()
         REGISTRY.enabled = True
+    ENGINE_STATS.reset()
     try:
         with tracing(tracer):
             # No runner: serial, uncached — a cache hit would skip the
@@ -285,6 +287,16 @@ def _cmd_trace(args) -> int:
         top = sorted(shares.items(), key=lambda kv: kv[1], reverse=True)
         print("profile: " + ", ".join(f"{key} {share:.1%}"
                                       for key, share in top[:6]))
+    es = ENGINE_STATS
+    if es.chunks:
+        print(f"chunks: {es.chunks} executed, "
+              f"size mean {es.mean_chunk():.1f} "
+              f"p50 {es.percentile_chunk(50):.0f} "
+              f"p99 {es.percentile_chunk(99):.0f} packets; "
+              f"speculative {es.spec_chunks}, rollbacks {es.rollbacks} "
+              f"({es.rollback_rate():.1%}), "
+              f"wasted {es.wasted_packets} packets, "
+              f"{es.launches_per_chunk():.0f} kernel launches/chunk")
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
             handle.write(REGISTRY.to_prometheus())

@@ -91,6 +91,25 @@ class Histogram:
             if value <= bound:
                 self.bucket_counts[i] += 1
 
+    def add_counts(self, per_bucket, count: int, total: float) -> None:
+        """Bulk-merge a pre-bucketed batch of observations.
+
+        ``per_bucket[i]`` observations fell into bucket ``i``
+        (*non*-cumulative, aligned with ``buckets``); they are folded
+        into the cumulative Prometheus representation.  ``count`` and
+        ``total`` update the observation count and value sum.  Lets hot
+        paths keep their own cheap bucket tallies and merge them here
+        once per quantum instead of calling :meth:`observe` per event.
+        """
+        running = 0
+        nsrc = len(per_bucket)
+        for i in range(len(self.buckets)):
+            if i < nsrc:
+                running += per_bucket[i]
+            self.bucket_counts[i] += running
+        self.count += count
+        self.sum += float(total)
+
     def sample(self):
         return {"buckets": dict(zip((str(b) for b in self.buckets),
                                     self.bucket_counts)),
@@ -130,6 +149,9 @@ class _Family:
 
     def observe(self, value: float) -> None:
         self.labels().observe(value)
+
+    def add_counts(self, per_bucket, count: int, total: float) -> None:
+        self.labels().add_counts(per_bucket, count, total)
 
     def items(self):
         """``(label_tuple, metric)`` pairs in stable (sorted) order."""

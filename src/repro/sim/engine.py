@@ -27,7 +27,8 @@ from ..obs.metrics import REGISTRY
 from ..obs.tracer import current_tracer
 from ..pci.nic import Nic, VirtualFunction
 from ..tenants.tenant import Tenant, TenantSet
-from ..workloads.base import CorePort, Workload
+from ..workloads.base import (CorePort, ENGINE_STATS, EngineStats,
+                              Workload)
 from .metrics import MetricsRecorder, QuantumRecord, TenantSnapshot
 from .platform import Platform
 
@@ -103,6 +104,10 @@ class Simulation:
         self._vf_last: "dict[str, tuple[int, int]]" = {}
         self._llc_stats_last: "dict[str, int]" = {}
         self._quantum_seq = 0
+        # Chunk/speculation accounting: baseline of the process-wide
+        # ENGINE_STATS so per-quantum deltas belong to this simulation.
+        self._engine_last = ENGINE_STATS.snapshot()
+        self._engine_delta: "dict | None" = None
 
     # ------------------------------------------------------------------
     # Scenario construction
@@ -329,9 +334,25 @@ class Simulation:
             record.vf_dropped[name] = traffic.vf.drops - last[1]
             self._vf_last[name] = (traffic.vf.delivered, traffic.vf.drops)
         self.metrics.append(record)
+        self._engine_delta = None
+        if tracer.enabled or REGISTRY.enabled:
+            self._engine_delta = self._engine_stats_delta()
         if tracer.enabled:
             self._trace_quantum(tracer, record)
         return record
+
+    def _engine_stats_delta(self) -> dict:
+        """Advance the ENGINE_STATS baseline; returns this quantum's
+        chunk/speculation deltas (observability only)."""
+        snap = ENGINE_STATS.snapshot()
+        last = self._engine_last
+        delta = {key: value - last[key] for key, value in snap.items()
+                 if key != "size_buckets"}
+        delta["size_buckets"] = tuple(
+            v - p for v, p in zip(snap["size_buckets"],
+                                  last["size_buckets"]))
+        self._engine_last = snap
+        return delta
 
     def _trace_quantum(self, tracer, record: QuantumRecord) -> None:
         """Emit one quantum's telemetry: the full record (the
@@ -353,6 +374,16 @@ class Simulation:
                        **{key: value - last.get(key, 0)
                           for key, value in stats.items()})
         self._llc_stats_last = stats
+        delta = self._engine_delta
+        if delta is not None and delta["chunks"]:
+            tracer.counter("engine", "chunks",
+                           chunks=delta["chunks"],
+                           packets=delta["packets"],
+                           exec_packets=delta["exec_packets"],
+                           spec_chunks=delta["spec_chunks"],
+                           rollbacks=delta["rollbacks"],
+                           wasted_packets=delta["wasted_packets"],
+                           kernel_launches=delta["kernel_launches"])
 
     def _export_metrics(self, record: QuantumRecord, wall_s: float) -> None:
         """Feed the process-wide metrics registry from one quantum's
@@ -398,3 +429,35 @@ class Simulation:
         reg.gauge("repro_vf_drop_rate",
                   "Packet drop fraction over the last quantum").set(
             total_dropped / offered if offered else 0.0)
+        delta = self._engine_delta
+        if delta is None:
+            delta = self._engine_stats_delta()
+        if delta["chunks"]:
+            reg.counter("repro_engine_chunks_total",
+                        "Executed vector-drain chunks").inc(delta["chunks"])
+            reg.counter("repro_engine_packets_total",
+                        "Packets committed by the vector drains"
+                        ).inc(delta["packets"])
+            reg.counter("repro_spec_chunks_total",
+                        "Chunks executed under a speculative snapshot"
+                        ).inc(delta["spec_chunks"])
+            reg.counter("repro_spec_rollbacks_total",
+                        "Speculative chunks rolled back on budget "
+                        "overshoot").inc(delta["rollbacks"])
+            reg.counter("repro_spec_wasted_packets_total",
+                        "Packets executed and then rolled back"
+                        ).inc(delta["wasted_packets"])
+            spec = delta["spec_chunks"]
+            reg.gauge("repro_spec_rollback_rate",
+                      "Rollback fraction of speculative chunks over the "
+                      "last quantum").set(
+                delta["rollbacks"] / spec if spec else 0.0)
+            reg.gauge("repro_engine_kernel_launches_per_chunk",
+                      "Plan-pipeline NumPy launches per chunk over the "
+                      "last quantum").set(
+                delta["kernel_launches"] / delta["chunks"])
+            reg.histogram("repro_chunk_size_packets",
+                          "Packets per executed chunk",
+                          buckets=EngineStats.SIZE_BUCKETS).add_counts(
+                delta["size_buckets"], delta["chunks"],
+                delta["exec_packets"])

@@ -59,6 +59,37 @@ class FlowTables:
         self._mega_base = region_base + emc_entries * EMC_ENTRY_BYTES
         self.emc_hits = 0
         self.emc_misses = 0
+        # COW journal for speculative execution (see SlicedLLC.snapshot):
+        # pre-images of overwritten EMC tags, replayed newest-first.
+        self._journal: "list[tuple] | None" = None
+        self._snap: "tuple[int, int] | None" = None
+
+    # -- speculation support ---------------------------------------------
+    def snapshot(self) -> None:
+        """Start journaling EMC mutations for a possible rollback."""
+        if self._journal is not None:
+            raise RuntimeError("a FlowTables snapshot is already active")
+        self._journal = []
+        self._snap = (self.emc_hits, self.emc_misses)
+
+    def rollback(self) -> None:
+        """Undo every EMC mutation since :meth:`snapshot`."""
+        journal = self._journal
+        if journal is None:
+            raise RuntimeError("rollback() without an active snapshot")
+        tags = self._emc_tags
+        for slots, pre in reversed(journal):
+            tags[slots] = pre
+        self.emc_hits, self.emc_misses = self._snap
+        self._journal = None
+        self._snap = None
+
+    def commit(self) -> None:
+        """Drop the journal, keeping the speculative mutations."""
+        if self._journal is None:
+            raise RuntimeError("commit() without an active snapshot")
+        self._journal = None
+        self._snap = None
 
     @property
     def megaflow_bytes(self) -> int:
@@ -73,6 +104,8 @@ class FlowTables:
             return LookupResult(True, cycles + EMC_HIT_CYCLES)
         # EMC miss: wildcard lookup, then install into the EMC slot.
         self.emc_misses += 1
+        if self._journal is not None:
+            self._journal.append((slot, int(self._emc_tags[slot])))
         self._emc_tags[slot] = flow_id
         entry = self._mega_base + (flow_id % self.megaflow_capacity) \
             * MEGAFLOW_ENTRY_BYTES
@@ -93,6 +126,8 @@ class FlowTables:
             self.emc_hits += 1
             return EMC_HIT_CYCLES
         self.emc_misses += 1
+        if self._journal is not None:
+            self._journal.append((slot, int(self._emc_tags[slot])))
         self._emc_tags[slot] = flow_id
         entry = self._mega_base + (flow_id % self.megaflow_capacity) \
             * MEGAFLOW_ENTRY_BYTES
@@ -133,7 +168,11 @@ class FlowTables:
         last = np.empty(k, dtype=bool)
         last[:-1] = so[1:] != so[:-1]
         last[-1] = True
-        tags[so[last]] = fo[last]
+        touched = so[last]
+        if self._journal is not None:
+            # Fancy-index read is a copy, so this is a true pre-image.
+            self._journal.append((touched, tags[touched]))
+        tags[touched] = fo[last]
         nhits = int(np.count_nonzero(hit))
         self.emc_hits += nhits
         self.emc_misses += k - nhits

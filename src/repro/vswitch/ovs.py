@@ -196,6 +196,28 @@ class OvsDataplane(RingConsumer):
         lookup = (2 + MEGAFLOW_PROBES) * miss_cycles + MEGAFLOW_CYCLES
         return OVS_CYCLES + lookup + nlines * miss_cycles / BUFFER_MLP
 
+    # -- speculation support ---------------------------------------------
+    # Beyond the base checkpoint, a speculative OVS chunk mutates the EMC
+    # (journaled inside FlowTables) and the destination virtio rings:
+    # cursors/counters are saved here, while the slot payloads written by
+    # rolled-back posts sit beyond the restored ``_count`` and are
+    # rewritten before they ever become readable.
+    def _spec_state(self):
+        self.tables.snapshot()
+        return (self.forwarded, self.output_drops,
+                tuple((r._head, r._rd, r._count, r.enqueued, r.dequeued,
+                       r.dropped) for r in self._dest_rings))
+
+    def _spec_restore(self, state) -> None:
+        self.tables.rollback()
+        self.forwarded, self.output_drops, ring_states = state
+        for ring, s in zip(self._dest_rings, ring_states):
+            (ring._head, ring._rd, ring._count, ring.enqueued,
+             ring.dequeued, ring.dropped) = s
+
+    def _spec_commit_extra(self) -> None:
+        self.tables.commit()
+
     def transmit(self, port: CorePort, record: PacketRecord) -> None:
         """Forwarding replaces Tx; nothing leaves via the switch here."""
 

@@ -44,7 +44,7 @@ class CorePort:
     """
 
     __slots__ = ("core_id", "owner", "_llc", "_cat", "_mem", "_mba",
-                 "block", "_mask", "_dram_cycles", "_line")
+                 "block", "_mask", "_dram_cycles", "_line", "_lat_buf")
 
     def __init__(self, core_id: int, owner: int, llc: SlicedLLC,
                  cat: CatController, mem: MemoryController,
@@ -59,6 +59,7 @@ class CorePort:
         self._line = llc.geometry.line_size
         self._mask = cat.mask_of_core(core_id)
         self._dram_cycles = mem.spec.idle_latency_cycles
+        self._lat_buf = np.empty(0)
 
     def begin_quantum(self) -> None:
         """Refresh cached mask and DRAM latency at a quantum boundary."""
@@ -175,10 +176,22 @@ class CorePort:
         writebacks = out.writebacks
         if writebacks:
             self._mem.add_write(self._line * writebacks)
-        lat = np.where(hit, LLC_HIT_CYCLES,
-                       LLC_HIT_CYCLES + self._dram_cycles) * mlp_inv
+        # Latency lands in a reused per-port buffer: fill the miss cost,
+        # scatter the hit cost, scale by MLP — element-for-element the
+        # same float operations as np.where(hit, H, H + D) * mlp_inv.
+        buf = self._lat_buf
+        n = addrs.shape[0]
+        if buf.shape[0] < n:
+            buf = self._lat_buf = np.empty(max(n, 1024))
+        lat = buf[:n]
+        lat[:] = LLC_HIT_CYCLES + self._dram_cycles
+        lat[hit] = LLC_HIT_CYCLES
+        lat *= mlp_inv
         if device is not None:
             lat[device] = 0.0
+        # One approximate launch count for the execute stage (batch call
+        # plus the latency/bincount kernels above).
+        ENGINE_STATS.kernel_launches += 6
         return np.bincount(pkt, weights=lat, minlength=npackets)
 
     def charge(self, instructions: float, cycles: float) -> None:
@@ -260,15 +273,107 @@ class AccessPlan:
 def seq_accumulate(initial: float, values: "np.ndarray") -> float:
     """Left-to-right sum of ``values`` onto ``initial``.
 
-    ``np.cumsum`` accumulates sequentially, so this reproduces a scalar
-    ``acc += v`` loop bit-for-bit — which keeps the vectorized drains'
-    cycle accounting exactly equal to the per-packet reference paths
-    (``np.sum`` pairs terms and rounds differently).
+    Fast path: ``np.cumsum`` accumulates strictly sequentially, so for
+    the non-negative cycle/latency streams the vectorized drains feed
+    it, the running cumsum reproduces a scalar ``acc += v`` loop
+    bit-for-bit (``np.sum`` pairs terms and rounds differently, which
+    is why it cannot be used here).  Anything else — negative values or
+    NaNs, which no current caller produces — falls back to an explicit
+    left-to-right loop, the defining semantics.
     """
-    tmp = np.empty(values.shape[0] + 1)
-    tmp[0] = initial
-    tmp[1:] = values
-    return float(tmp.cumsum()[-1])
+    n = values.shape[0]
+    if n == 0:
+        return float(initial)
+    if bool((values >= 0.0).all()):
+        tmp = np.empty(n + 1)
+        tmp[0] = initial
+        tmp[1:] = values
+        return float(np.cumsum(tmp, out=tmp)[-1])
+    acc = float(initial)
+    for v in values.tolist():
+        acc += v
+    return acc
+
+
+class EngineStats:
+    """Process-wide chunk/speculation accounting (observability only).
+
+    The vectorized ring drains record every executed chunk here: chunk
+    sizes into a power-of-two histogram, speculative executions and
+    rollbacks, and the approximate NumPy kernel-launch count of the
+    plan pipeline.  The engine samples per-quantum deltas into the
+    tracer and the metrics registry, ``repro trace`` prints the totals
+    at exit, and the perf benchmarks read the means directly.  Like
+    ``repro.obs.metrics.REGISTRY`` this is process-global state shared
+    by every simulation in the process; simulation *results* never read
+    it, so it cannot perturb determinism.
+    """
+
+    #: Upper bucket bounds (packets per chunk) of the size histogram.
+    SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    __slots__ = ("chunks", "packets", "exec_packets", "spec_chunks",
+                 "rollbacks", "wasted_packets", "kernel_launches",
+                 "size_buckets")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.chunks = 0           # chunk executions (replays included)
+        self.packets = 0          # packets admitted and committed
+        self.exec_packets = 0     # packets executed (rolled back included)
+        self.spec_chunks = 0      # chunks executed under a snapshot
+        self.rollbacks = 0        # mispredicted admissions rolled back
+        self.wasted_packets = 0   # packets executed and then rolled back
+        self.kernel_launches = 0  # NumPy launches in the plan pipeline
+        self.size_buckets = [0] * len(self.SIZE_BUCKETS)
+
+    def record_chunk(self, k: int) -> None:
+        """Account one executed chunk of ``k`` packets."""
+        self.chunks += 1
+        self.exec_packets += k
+        buckets = self.size_buckets
+        buckets[min((k - 1).bit_length(), len(buckets) - 1)] += 1
+
+    # -- derived views ---------------------------------------------------
+    def mean_chunk(self) -> float:
+        return self.exec_packets / self.chunks if self.chunks else 0.0
+
+    def rollback_rate(self) -> float:
+        return self.rollbacks / self.spec_chunks if self.spec_chunks else 0.0
+
+    def launches_per_chunk(self) -> float:
+        return self.kernel_launches / self.chunks if self.chunks else 0.0
+
+    def percentile_chunk(self, pct: float) -> float:
+        """Approximate size percentile (upper bucket bound), from the
+        power-of-two histogram."""
+        if not self.chunks:
+            return 0.0
+        threshold = pct / 100.0 * self.chunks
+        cum = 0
+        for bound, count in zip(self.SIZE_BUCKETS, self.size_buckets):
+            cum += count
+            if cum >= threshold:
+                return float(bound)
+        return float(self.SIZE_BUCKETS[-1])
+
+    def snapshot(self) -> dict:
+        return {
+            "chunks": self.chunks,
+            "packets": self.packets,
+            "exec_packets": self.exec_packets,
+            "spec_chunks": self.spec_chunks,
+            "rollbacks": self.rollbacks,
+            "wasted_packets": self.wasted_packets,
+            "kernel_launches": self.kernel_launches,
+            "size_buckets": tuple(self.size_buckets),
+        }
+
+
+#: Process-wide singleton the drains, engine, CLI, and benches share.
+ENGINE_STATS = EngineStats()
 
 
 class VectorPlan:
@@ -285,92 +390,158 @@ class VectorPlan:
 
     Ranks must stay below :data:`VectorPlan.MAX_RANK` (the sort key packs
     ``pkt * MAX_RANK + rank`` into one int64 argsort).
+
+    Plans are reusable: call :meth:`reset` between chunks instead of
+    constructing a fresh plan.  Materialization writes into persistent
+    scratch arrays (grown geometrically) so a steady-state chunk
+    allocates nothing; the returned arrays are *views* into that
+    scratch, valid only until the next :meth:`materialize` on the same
+    plan — callers consume them within the chunk.
     """
 
     MAX_RANK = 128
 
-    __slots__ = ("_parts",)
+    __slots__ = ("_parts", "_cap", "_steps", "_addr", "_pkt", "_key",
+                 "_write", "_mlp", "_dev", "_addr2", "_pkt2", "_write2",
+                 "_mlp2", "_dev2")
 
     def __init__(self) -> None:
         # (rank, bases, counts, stride, write, mlp_inv, device, pkts)
         self._parts: "list[tuple]" = []
+        self._cap = 0
+        self._steps: "dict[tuple[int, int], np.ndarray]" = {}
+
+    def reset(self) -> None:
+        """Drop staged parts, keeping scratch arrays for the next chunk."""
+        self._parts.clear()
 
     def add_batch(self, bases, counts, *, pkts, rank: int,
                   stride: int = 64, write: bool = False, mlp: float = 1.0,
                   device: bool = False) -> None:
         """Append one stage: per packet ``p`` in ``pkts``, ``counts[p]``
         lines starting at ``bases[p]``.  ``counts`` may be a scalar."""
-        self._parts.append((rank, bases, counts, stride, write,
-                            0.0 if device else 1.0 / mlp, device, pkts))
+        self._parts.append((rank, np.asarray(bases, dtype=np.int64),
+                            counts, stride, write,
+                            0.0 if device else 1.0 / mlp, device,
+                            np.asarray(pkts, dtype=np.int64)))
+
+    def _reserve(self, total: int) -> None:
+        if total <= self._cap:
+            return
+        cap = max(total, 2 * self._cap, 1024)
+        self._addr = np.empty(cap, dtype=np.int64)
+        self._pkt = np.empty(cap, dtype=np.int64)
+        self._key = np.empty(cap, dtype=np.int64)
+        self._write = np.empty(cap, dtype=bool)
+        self._mlp = np.empty(cap)
+        self._dev = np.empty(cap, dtype=bool)
+        self._addr2 = np.empty(cap, dtype=np.int64)
+        self._pkt2 = np.empty(cap, dtype=np.int64)
+        self._write2 = np.empty(cap, dtype=bool)
+        self._mlp2 = np.empty(cap)
+        self._dev2 = np.empty(cap, dtype=bool)
+        self._cap = cap
+
+    def _step(self, count: int, stride: int) -> "np.ndarray":
+        """Cached ``arange(count) * stride`` for fixed-count stages."""
+        key = (count, stride)
+        step = self._steps.get(key)
+        if step is None:
+            step = np.arange(count, dtype=np.int64) * stride
+            self._steps[key] = step
+        return step
 
     def materialize(self):
         """Flatten stages to per-line arrays ordered (pkt, rank,
-        insertion); same return contract as :meth:`AccessPlan.materialize`.
+        insertion); same return contract as :meth:`AccessPlan.materialize`,
+        but the arrays are scratch views (see class docstring).
         """
         if not self._parts:
             return None
-        addr_parts = []
-        pkt_parts = []
-        lens = []
-        ranks = []
-        writes = []
-        mlps = []
-        devs = []
-        for rank, bases, counts, stride, write, mlp_inv, device, pkts \
-                in self._parts:
-            bases = np.asarray(bases, dtype=np.int64)
+        stats = ENGINE_STATS
+        # Sizing pass: per-stage line totals (ragged cumsums cached for
+        # the fill pass) so one reservation covers the whole chunk.
+        staged = []
+        grand = 0
+        for part in self._parts:
+            counts = part[2]
             if isinstance(counts, np.ndarray):
-                total = int(counts.sum())
-                if total == 0:
-                    continue
-                starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-                within = np.arange(total, dtype=np.int64) \
-                    - np.repeat(starts, counts)
-                addrs = np.repeat(bases, counts) + within * stride
-                pkt = np.repeat(pkts, counts)
+                csum = np.cumsum(counts)
+                total = int(csum[-1]) if csum.shape[0] else 0
+                stats.kernel_launches += 1
             elif counts == 1:
-                total = bases.shape[0]
-                if total == 0:
-                    continue
-                addrs = bases
-                pkt = np.asarray(pkts, dtype=np.int64)
+                csum = None
+                total = part[1].shape[0]
+            else:
+                csum = None
+                total = part[1].shape[0] * counts
+            if total:
+                staged.append((part, csum, grand, total))
+                grand += total
+        if not staged:
+            return None
+        self._reserve(grand)
+        multi = len(staged) > 1
+        has_dev = any(entry[0][6] for entry in staged)
+        addr_s = self._addr
+        pkt_s = self._pkt
+        key_s = self._key
+        write_s = self._write
+        mlp_s = self._mlp
+        dev_s = self._dev
+        for part, csum, off, total in staged:
+            rank, bases, counts, stride, write, mlp_inv, device, pkts = part
+            end = off + total
+            sl_addr = addr_s[off:end]
+            sl_pkt = pkt_s[off:end]
+            if csum is not None:
+                starts = np.empty_like(csum)
+                starts[0] = 0
+                starts[1:] = csum[:-1]
+                within = np.arange(total, dtype=np.int64)
+                within -= np.repeat(starts, counts)
+                np.multiply(within, stride, out=within)
+                np.add(np.repeat(bases, counts), within, out=sl_addr)
+                sl_pkt[:] = np.repeat(pkts, counts)
+                stats.kernel_launches += 7
+            elif counts == 1:
+                sl_addr[:] = bases
+                sl_pkt[:] = pkts
+                stats.kernel_launches += 2
             else:
                 m = bases.shape[0]
-                total = m * counts
-                if total == 0:
-                    continue
-                addrs = (bases[:, None]
-                         + np.arange(counts, dtype=np.int64) * stride).ravel()
-                pkt = np.repeat(pkts, counts)
-            addr_parts.append(addrs)
-            pkt_parts.append(pkt)
-            lens.append(total)
-            ranks.append(rank)
-            writes.append(write)
-            mlps.append(mlp_inv)
-            devs.append(device)
-        if not addr_parts:
-            return None
-        if len(addr_parts) == 1:
+                np.add(bases[:, None], self._step(counts, stride),
+                       out=sl_addr.reshape(m, counts))
+                sl_pkt.reshape(m, counts)[:] = pkts[:, None]
+                stats.kernel_launches += 2
+            write_s[off:end] = write
+            mlp_s[off:end] = mlp_inv
+            stats.kernel_launches += 2
+            if has_dev:
+                dev_s[off:end] = device
+                stats.kernel_launches += 1
+            if multi:
+                sl_key = key_s[off:end]
+                np.multiply(sl_pkt, self.MAX_RANK, out=sl_key)
+                sl_key += rank
+                stats.kernel_launches += 2
+        if not multi:
             # Single stage: already packet-major and rank-uniform.
-            total = lens[0]
-            return (addr_parts[0], np.full(total, writes[0], dtype=bool),
-                    np.full(total, mlps[0]),
-                    np.full(total, True, dtype=bool) if devs[0] else None,
-                    pkt_parts[0])
-        # Per-line stage metadata expands from one small per-stage array
-        # per field (cheaper than a full-length fill per stage).
-        lens = np.asarray(lens, dtype=np.int64)
-        addrs = np.concatenate(addr_parts)
-        pkt = np.concatenate(pkt_parts)
-        rank = np.repeat(np.asarray(ranks, dtype=np.int64), lens)
-        order = np.argsort(pkt * self.MAX_RANK + rank, kind="stable")
-        return (addrs[order],
-                np.repeat(np.asarray(writes, dtype=bool), lens)[order],
-                np.repeat(np.asarray(mlps), lens)[order],
-                np.repeat(np.asarray(devs, dtype=bool), lens)[order]
-                if any(devs) else None,
-                pkt[order])
+            return (addr_s[:grand], write_s[:grand], mlp_s[:grand],
+                    dev_s[:grand] if has_dev else None, pkt_s[:grand])
+        order = np.argsort(key_s[:grand], kind="stable")
+        np.take(addr_s[:grand], order, out=self._addr2[:grand])
+        np.take(pkt_s[:grand], order, out=self._pkt2[:grand])
+        np.take(write_s[:grand], order, out=self._write2[:grand])
+        np.take(mlp_s[:grand], order, out=self._mlp2[:grand])
+        stats.kernel_launches += 5
+        dev = None
+        if has_dev:
+            np.take(dev_s[:grand], order, out=self._dev2[:grand])
+            dev = self._dev2[:grand]
+            stats.kernel_launches += 1
+        return (self._addr2[:grand], self._write2[:grand],
+                self._mlp2[:grand], dev, self._pkt2[:grand])
 
 
 @dataclass
