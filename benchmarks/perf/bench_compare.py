@@ -1,0 +1,55 @@
+"""Policy-tournament benchmark: the ``repro compare`` harness end to
+end.
+
+Times the full policy x scenario cross-product (serial, uncached — the
+point is harness cost, not sweep-engine scaling, which ``bench_suite``
+already covers) and records the ranked outcome so the perf trajectory
+of the controller plane itself is visible across PRs: a policy whose
+decision loop suddenly dominates an interval shows up here as tournament
+wall time before it shows up anywhere else.
+
+The recorded ``ranking`` doubles as a sanity anchor: every score is a
+scenario-normalized mean in (0, 1], and the winner's score is 1.0 only
+if it sweeps every axis of every scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.exec import ParallelRunner
+from repro.experiments import compare
+from repro.sim.config import TINY_PLATFORM, XEON_6140
+
+POLICIES = ("iat", "ioca", "lfoc")
+SCENARIOS = ("mixed-nic", "dma-streams", "shuffle")
+
+
+def run_compare(scale: str = "default") -> dict:
+    """One serial tournament; wall time plus the ranked report."""
+    if scale == "tiny":
+        spec = dataclasses.replace(TINY_PLATFORM, llc_backend="array")
+        duration, warmup = 2.0, 0.5
+    else:
+        spec = dataclasses.replace(XEON_6140, llc_backend="array")
+        duration, warmup = 8.0, 2.0
+    t0 = time.perf_counter()
+    with ParallelRunner(jobs=1) as runner:
+        result = compare.run(policies=POLICIES, scenarios=SCENARIOS,
+                             duration=duration, warmup=warmup, spec=spec,
+                             runner=runner)
+    wall_s = time.perf_counter() - t0
+    ranking = result.ranking()
+    return {
+        "policies": list(POLICIES),
+        "scenarios": list(SCENARIOS),
+        "points": len(result.points),
+        "duration_s": duration,
+        "wall_s": wall_s,
+        "point_s": wall_s / len(result.points),
+        "winner": ranking[0][0],
+        "ranking": [{"policy": policy, "score": score}
+                    for policy, score in ranking],
+        "fairness_min": min(p.fairness for p in result.points),
+    }

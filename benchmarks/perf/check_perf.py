@@ -17,7 +17,11 @@ meaningful unit).  The obs gate only engages when both documents carry
 an ``obs`` section.  ``--engine-floor`` adds an *absolute* speedup
 floor on top of the relative gate: CI pins it to 0.8x the speedup the
 speculative run-ahead engine committed, so the gate keeps biting even
-if a slower document is ever (re-)committed.  Speedups and overheads are ratios of two runs on
+if a slower document is ever (re-)committed.  When the fresh document
+carries a ``compare`` section (the ``repro compare`` policy
+tournament), its *shape* is gated too — full policy x scenario
+cross-product, scores in (0, 1] — while its wall time is reported but
+never gated (host-dependent).  Speedups and overheads are ratios of two runs on
 the same host, so they are comparable across machines in a way
 wall-clock is not; the two documents must still be at the same
 ``--scale``, because the tiny geometry has a different vector/scalar
@@ -59,6 +63,27 @@ def check(fresh: dict, committed: dict, threshold: float = 0.8,
         ok = ok and fresh_speedup >= engine_floor
         messages.append(f"engine floor: fresh {fresh_speedup:.2f}x vs "
                         f"required {engine_floor:.2f}x (absolute)")
+    fresh_cmp = fresh.get("compare") or {}
+    if fresh_cmp:
+        # Structural gate only: tournament wall time is host-dependent,
+        # but a fresh document whose cross-product collapsed (fewer
+        # points than policies x scenarios) or whose scores left (0, 1]
+        # means the compare harness itself broke.
+        expected = (len(fresh_cmp.get("policies", ())) *
+                    len(fresh_cmp.get("scenarios", ())))
+        shape_ok = (fresh_cmp.get("points") == expected and
+                    fresh_cmp.get("ranking") and
+                    all(0.0 < entry["score"] <= 1.0
+                        for entry in fresh_cmp["ranking"]))
+        ok = ok and shape_ok
+        line = (f"compare: {fresh_cmp.get('points')} points, winner "
+                f"{fresh_cmp.get('winner')!r} "
+                f"({fresh_cmp.get('point_s', 0.0):.3f}s/point)")
+        committed_cmp = committed.get("compare") or {}
+        if committed_cmp:
+            line += (f" vs committed {committed_cmp.get('winner')!r} "
+                     f"({committed_cmp.get('point_s', 0.0):.3f}s/point)")
+        messages.append(line)
     fresh_obs = fresh.get("obs") or {}
     committed_obs = committed.get("obs") or {}
     if "enabled_overhead" in fresh_obs and \

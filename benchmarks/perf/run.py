@@ -25,6 +25,7 @@ for path in (_HERE, _SRC):
     if path not in sys.path:
         sys.path.insert(0, path)
 
+from bench_compare import run_compare      # noqa: E402
 from bench_engine import run_engine        # noqa: E402
 from bench_llc import run_micro            # noqa: E402
 from bench_obs import run_obs              # noqa: E402
@@ -41,6 +42,7 @@ def run(scale: str = "default") -> dict:
     rollback = run_rollback(scale)
     obs = run_obs(scale)
     suite = run_suite(scale)
+    compare = run_compare(scale)
     return {
         "schema": SCHEMA,
         "created_utc": datetime.datetime.now(datetime.timezone.utc)
@@ -54,6 +56,8 @@ def run(scale: str = "default") -> dict:
         "obs": obs,
         # Sweep execution (repro.exec): serial vs. parallel vs. warm cache.
         "suite": suite,
+        # Controller plane (repro compare): tournament wall time + ranking.
+        "compare": compare,
         # Headline number: end-to-end scalar/array on fig. 8 leaky DMA.
         "speedup": engine["speedup"],
     }
@@ -122,6 +126,22 @@ def validate(doc: dict) -> None:
             assert key in suite, f"suite result missing {key}"
         assert suite["results_match"] is True, "parallel diverged from serial"
         assert suite["warm_hits"] == suite["points"], "warm run missed cache"
+    compare = doc.get("compare")
+    if compare is not None:  # absent in pre-tournament documents (additive)
+        for key in ("policies", "scenarios", "points", "duration_s",
+                    "wall_s", "point_s", "winner", "ranking",
+                    "fairness_min"):
+            assert key in compare, f"compare result missing {key}"
+        assert compare["points"] == \
+            len(compare["policies"]) * len(compare["scenarios"]), \
+            "compare did not run the full policy x scenario cross-product"
+        assert compare["ranking"], "compare produced no ranking"
+        for entry in compare["ranking"]:
+            assert 0.0 < entry["score"] <= 1.0, \
+                f"score {entry['score']} outside (0, 1]"
+        assert compare["winner"] == compare["ranking"][0]["policy"]
+        assert 0.0 <= compare["fairness_min"] <= 1.0
+        assert compare["wall_s"] > 0 and compare["point_s"] > 0
     assert isinstance(doc.get("speedup"), float)
 
 
@@ -188,6 +208,11 @@ def main(argv=None) -> int:
           f" {suite['parallel_speedup']:.2f}x)"
           f"  warm {suite['warm_s']:.3f}s"
           f" ({suite['warm_fraction']:.1%} of cold)")
+    compare = doc["compare"]
+    ranked = ", ".join(f"{entry['policy']} {entry['score']:.3f}"
+                       for entry in compare["ranking"])
+    print(f"compare x{compare['points']}: {compare['wall_s']:.3f}s"
+          f" ({compare['point_s']:.3f}s/point)  ranking: {ranked}")
     print(f"wrote {args.out}")
     return 0
 

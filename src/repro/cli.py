@@ -1,8 +1,15 @@
 """Command-line interface: ``python -m repro`` or the ``repro`` script.
 
-Five subcommands:
+Seven subcommands:
 
 * ``repro figures`` — list the reproducible figures.
+* ``repro policies`` — list the registered controller policies with
+  their tunable parameters (see ``docs/policies.md``).
+* ``repro compare [--policies A,B] [--scenarios X,Y] [--seeds 0,1]
+  [--json FILE] [sweep flags]`` — race the selected policies across the
+  tournament scenarios through the sweep engine and print a ranked
+  report (throughput, p99 latency, Jain fairness); ``--json`` also
+  writes the full report as JSON.
 * ``repro figure <id> [--fast] [--jobs N] [--no-cache] [--duration S]
   [--warmup S] [--trace-out FILE]`` — regenerate one figure's table.
   ``--fast`` shrinks sweeps/durations for a quick look; sweep points
@@ -47,13 +54,14 @@ import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 
+from .core import available_policies
 from .exec import ParallelRunner, ResultCache
 from .exec.runner import TraceFanout
-from .experiments import (ext_ddio, fig03_ring_size, fig04_latent_contender,
-                          fig08_leaky_dma, fig09_flow_scaling, fig10_shuffle,
-                          fig11_timeline, fig12_exec_time,
-                          fig13_rocksdb_latency, fig14_redis_ycsb,
-                          fig15_overhead, sensitivity)
+from .experiments import (compare, ext_ddio, fig03_ring_size,
+                          fig04_latent_contender, fig08_leaky_dma,
+                          fig09_flow_scaling, fig10_shuffle, fig11_timeline,
+                          fig12_exec_time, fig13_rocksdb_latency,
+                          fig14_redis_ycsb, fig15_overhead, sensitivity)
 
 
 @dataclass(frozen=True)
@@ -208,6 +216,52 @@ def _cmd_figures(_args) -> int:
     width = max(len(name) for name in FIGURES)
     for name in sorted_figures():
         print(f"{name:<{width}}  {FIGURES[name].description}")
+    return 0
+
+
+def _cmd_policies(_args) -> int:
+    infos = available_policies()
+    width = max(len(info.name) for info in infos)
+    for info in infos:
+        print(f"{info.name:<{width}}  {info.summary}")
+        for pname, default in info.tunables():
+            print(f"{'':<{width}}    {pname} = {default}")
+    return 0
+
+
+def _split_csv(text: str) -> "tuple[str, ...]":
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _cmd_compare(args) -> int:
+    policies = (_split_csv(args.policies) if args.policies
+                else compare.DEFAULT_POLICIES)
+    scenarios = (_split_csv(args.scenarios) if args.scenarios
+                 else compare.DEFAULT_SCENARIOS)
+    seeds = (tuple(int(s) for s in _split_csv(args.seeds))
+             if args.seeds else (0,))
+    kwargs = {}
+    if args.fast:
+        kwargs.update(duration=4.0, warmup=1.0)
+    if args.duration is not None:
+        kwargs["duration"] = args.duration
+    if args.warmup is not None:
+        kwargs["warmup"] = args.warmup
+    with ExitStack() as stack:
+        runner = _traced_runner(args, stack)
+        try:
+            result = compare.run(policies=policies, scenarios=scenarios,
+                                 seeds=seeds, runner=runner, **kwargs)
+        except KeyError as exc:
+            print(f"compare: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(compare.format_table(result))
+        _finish_trace(runner, args)
+    if args.json:
+        import json
+        with open(args.json, "w") as handle:
+            json.dump(result.to_json_dict(), handle, indent=1)
+        print(f"report -> {args.json}")
     return 0
 
 
@@ -436,6 +490,27 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="with --trace-out: trace 1-in-N quanta per "
                             "point instead of full fidelity")
+
+    sub.add_parser("policies",
+                   help="list registered controller policies and their "
+                        "tunable parameters") \
+        .set_defaults(func=_cmd_policies)
+
+    cmp_p = sub.add_parser("compare",
+                           help="policy x scenario tournament with a "
+                                "ranked report")
+    cmp_p.add_argument("--policies", default=None, metavar="A,B",
+                       help="comma-separated policy names (default: "
+                            + ",".join(compare.DEFAULT_POLICIES) + ")")
+    cmp_p.add_argument("--scenarios", default=None, metavar="X,Y",
+                       help="comma-separated scenario names (default: "
+                            + ",".join(compare.DEFAULT_SCENARIOS) + ")")
+    cmp_p.add_argument("--seeds", default=None, metavar="0,1",
+                       help="comma-separated seeds (default: 0)")
+    cmp_p.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the full report as JSON here")
+    add_sweep_flags(cmp_p)
+    cmp_p.set_defaults(func=_cmd_compare)
 
     figure = sub.add_parser("figure", help="regenerate one figure")
     figure.add_argument("id", help="figure id (see 'repro figures')")

@@ -11,10 +11,15 @@ wrapper-style control loop over RDT primitives.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from ..obs.tracer import enabled_tracer
 from ..perf.pqos import PqosLib
 from ..tenants.registry import TenantRegistry
 from ..tenants.tenant import TenantSet
+
+if TYPE_CHECKING:
+    from .allocator import Layout
 
 
 @dataclass
@@ -35,3 +40,35 @@ class ControlPlane:
             return False
         self.tenants = self.registry.load()
         return True
+
+    def apply_layout(self, layout: "Layout",
+                     previous: "Layout | None" = None, *,
+                     set_ddio: bool = True) -> None:
+        """Program a planned :class:`Layout`'s deltas against ``previous``.
+
+        The one actuation path every policy shares: per-tenant CAT masks
+        that differ from the previous layout are written through
+        ``pqos.alloc_set`` and, when ``set_ddio`` is true (the policy
+        owns the DDIO partition), a changed DDIO mask is written through
+        ``pqos.ddio_set_mask``.  Each programmed mask emits a trace
+        instant so the event stream records every actuation regardless
+        of which policy decided it.
+        """
+        pqos = self.pqos
+        tracer = enabled_tracer()
+        for tenant in self.tenants:
+            mask = layout.mask_of(tenant)
+            old = (previous.group_masks.get(tenant.group)
+                   if previous else None)
+            if old != mask:
+                pqos.alloc_set(tenant.cos_id, mask)
+                if tracer is not None:
+                    tracer.instant("mask", "tenant", tenant=tenant.name,
+                                   group=tenant.group, cos=tenant.cos_id,
+                                   mask=mask)
+        if set_ddio and (previous is None
+                         or previous.ddio_mask != layout.ddio_mask):
+            pqos.ddio_set_mask(layout.ddio_mask)
+            if tracer is not None:
+                tracer.instant("mask", "ddio", mask=layout.ddio_mask,
+                               ways=bin(layout.ddio_mask).count("1"))

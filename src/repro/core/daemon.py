@@ -1,13 +1,27 @@
-"""The IAT daemon: the paper's six-step control loop (Sec. IV, Fig. 5).
+"""The controller daemon shell: the paper's six-step control loop
+(Sec. IV, Fig. 5), generalized over pluggable policies.
 
     Get Tenant Info -> LLC Alloc -> [ Poll Prof Data -> State Transition
     -> LLC Re-alloc -> Sleep ] ...
+
+:class:`ControllerDaemon` owns everything that is *not* a decision:
+iteration timing, the monitor lifecycle, tenant refresh, layout
+programming (delegated to :meth:`ControlPlane.apply_layout`), and the
+history/trace/metrics plumbing.  All decisions flow through a
+:class:`~repro.core.policies.Policy` — observe (``pre_observe`` + the
+monitor poll), decide (``decide`` returns a
+:class:`~repro.core.policies.Decision`), actuate (the policy plans
+:class:`~repro.core.allocator.Layout` objects and applies them via
+:meth:`apply_layout`).
 
 The daemon is backend-agnostic: it sees the machine only through a
 :class:`~repro.core.control.ControlPlane`.  The simulation engine calls
 :meth:`on_interval` once per sleep interval (1 s, Table II).
 
-Feature flags reproduce the paper's ablations exactly:
+:class:`IATDaemon` is the paper's daemon: a :class:`ControllerDaemon`
+wired to the registered IAT policy, preserving the historical attribute
+surface (``state``, ``allocator``, ``params``, ...).  Its feature flags
+reproduce the paper's ablations exactly:
 
 * ``manage_ddio=False`` — Sec. VI-B footnote 3 (the Latent Contender
   experiment isolates shuffling by freezing the DDIO way count);
@@ -26,15 +40,19 @@ Python loop.  Stable iterations (poll only) and unstable iterations
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..obs.tracer import enabled_tracer
-from .allocator import Layout, WayAllocator
+from .allocator import Layout
 from .control import ControlPlane
-from .fsm import INITIAL_STATE, State, next_state
-from .monitor import ChangeKind, ChangeReport, ProfMonitor
+from .fsm import State
+from .monitor import ChangeKind
 from .params import IATParams
-from .shuffler import placement_order
+
+if TYPE_CHECKING:
+    from .monitor import ProfMonitor, SystemSample
+    from .policies import Policy
 
 
 @dataclass
@@ -48,37 +66,44 @@ class IterationTiming:
 
 @dataclass
 class IterationLog:
-    """What the daemon saw and did in one interval (for Fig. 11 etc.)."""
+    """What the daemon saw and did in one interval (for Fig. 11 etc.).
+
+    ``state`` is the policy's current state object — an FSM
+    :class:`~repro.core.fsm.State` for IAT, a lightweight
+    :class:`~repro.core.policies.PolicyState` for other policies; both
+    expose ``.value``.
+    """
 
     time: float
-    state: State
+    state: "State | object"
     kind: ChangeKind
     ddio_ways: int
     group_ways: "dict[str, int]"
     action: str
 
 
-class IATDaemon:
-    """I/O-aware LLC management daemon."""
+class ControllerDaemon:
+    """Generic controller shell driving one :class:`Policy`.
 
-    def __init__(self, control: ControlPlane,
-                 params: "IATParams | None" = None, *,
-                 manage_ddio: bool = True,
-                 manage_tenant_ways: bool = True,
-                 shuffle: bool = True) -> None:
+    The engine's ``Controller`` protocol (``interval_s`` / ``on_start``
+    / ``on_interval``) is implemented here once; policies never talk to
+    the engine directly.  Per interval the daemon:
+
+    1. resets the modelled pqos cost counter and starts the wall clock;
+    2. refreshes the tenant set (re-initializing the policy on change);
+    3. lets the policy observe out-of-band state (``pre_observe``);
+    4. polls the policy's monitor (if it created one);
+    5. asks the policy to decide and actuate;
+    6. records timing, history, and trace events for the iteration.
+    """
+
+    def __init__(self, control: ControlPlane, policy: "Policy") -> None:
         self.control = control
-        self.params = params or IATParams()
-        self.manage_ddio = manage_ddio
-        self.manage_tenant_ways = manage_tenant_ways
-        self.shuffle = shuffle
-        self.interval_s = self.params.interval_s
-        self.state = INITIAL_STATE
+        self.policy = policy
+        policy.bind(self)
+        self.interval_s = policy.interval_s
         self.monitor: "ProfMonitor | None" = None
-        self.allocator: "WayAllocator | None" = None
         self.layout: "Layout | None" = None
-        self._order: "list[str]" = []
-        self._last_refs: "dict[str, int]" = {}
-        self._growing: "set[str]" = set()
         self.timings: "list[IterationTiming]" = []
         self.history: "list[IterationLog]" = []
 
@@ -89,23 +114,11 @@ class IATDaemon:
         self._init_tenants(now)
 
     def _init_tenants(self, now: float) -> None:
-        control = self.control
-        tenants = control.tenants
         if self.monitor is not None:
             self.monitor.close()
-        self.monitor = ProfMonitor(control.pqos, tenants, self.params,
-                                   time_scale=control.time_scale)
-        self.allocator = WayAllocator.for_tenants(
-            control.pqos.num_ways, self.params, tenants)
-        if self.manage_ddio:
-            # Boot in Low Keep: DDIO pinned at the minimum (Sec. IV-C).
-            self.allocator.clamp_ddio_min()
-        else:
-            self.allocator.ddio_ways = control.pqos.ddio_way_count()
-        self.state = INITIAL_STATE
-        self._order = placement_order(tenants)
+        self.monitor = self.policy.make_monitor()
         self.layout = None
-        self._apply_layout()
+        self.policy.on_init(now)
         self._log(now, ChangeKind.FSM, "init")
 
     # ------------------------------------------------------------------
@@ -118,257 +131,17 @@ class IATDaemon:
         if control.refresh_tenants():
             self._init_tenants(now)
             return
-
-        if not self.manage_ddio:
-            # Track externally controlled DDIO width (e.g. the Fig. 10
-            # script widening DDIO mid-run) so overlap detection and
-            # shuffling see the true mask.
-            width = control.pqos.ddio_way_count()
-            if width != self.allocator.ddio_ways:
-                self.allocator.ddio_ways = width
-                self._apply_layout()
-
-        sample = self.monitor.poll()
-        overlap = (self.layout.overlap_tenants(control.tenants)
-                   if self.layout else set())
-        report = self.monitor.classify(
-            sample, ddio_at_max=self.allocator.ddio_at_max,
-            ddio_at_min=self.allocator.ddio_at_min, ddio_overlap=overlap)
-        self._last_refs = {name: t.llc_references
-                           for name, t in sample.tenants.items()}
-
-        if report.kind in (ChangeKind.STABLE, ChangeKind.IPC_ONLY):
-            self._finish(now, report.kind, "none", stable=True,
-                         wall_start=wall_start)
-            return
-
-        if report.kind is ChangeKind.CORE_SIDE:
-            action = self._core_side_action(report)
-            self._apply_layout()
-            self._finish(now, report.kind, action, stable=False,
-                         wall_start=wall_start)
-            return
-
-        tracer = enabled_tracer()
-        if report.kind is ChangeKind.SHUFFLE_FIRST and self.shuffle:
-            # Special case 3: reshuffle before touching any way counts.
-            self._order = placement_order(control.tenants, self._last_refs)
-            if tracer is not None:
-                tracer.instant("shuffle", "order", reason="shuffle-first",
-                               order=list(self._order))
-            self._apply_layout()
-            self._finish(now, report.kind, "shuffle", stable=False,
-                         wall_start=wall_start)
-            return
-
-        old_state = self.state
-        self.state = next_state(old_state, report.signals)
-        if tracer is not None:
-            tracer.instant("fsm", "transition", src=old_state.value,
-                           dst=self.state.value,
-                           signals=asdict(report.signals))
-        action = self._apply_state_action(report)
-        grown = self._continue_growth_sessions(report)
-        if grown:
-            action = f"{action}; {grown}"
-        if self.shuffle:
-            self._order = placement_order(control.tenants, self._last_refs)
-            if tracer is not None:
-                tracer.instant("shuffle", "order", reason="post-transition",
-                               order=list(self._order))
-        self._apply_layout()
-        self._finish(now, ChangeKind.FSM, action, stable=False,
-                     wall_start=wall_start)
+        self.policy.pre_observe(now)
+        sample: "SystemSample | None" = (
+            self.monitor.poll() if self.monitor is not None else None)
+        decision = self.policy.decide(now, sample)
+        self._finish(now, decision.kind, decision.action,
+                     stable=decision.stable, wall_start=wall_start)
 
     # ------------------------------------------------------------------
-    def _core_side_action(self, report: ChangeReport) -> str:
-        """Special case 2 of Sec. IV-B: pure core-side demand, no I/O
-        involvement — "other existing mechanisms can be called to
-        allocate LLC ways for the tenant".  A dCAT-style
-        grow-while-it-helps loop stands in for those mechanisms: a
-        miss-rate jump starts a growth session; each grant continues as
-        long as it keeps lowering the miss rate and the rate is still
-        meaningful; a sustained low rate above the floor is reclaimed.
-        """
-        if not self.manage_tenant_ways or not report.tenant:
-            return "delegate (frozen)"
-        tenant = report.tenant
-        group = self.control.tenants.by_name(tenant).group
-        delta_pp = report.miss_rate_delta.get(tenant, 0.0)
-        rate = report.miss_rate.get(tenant, 0.0)
-        if delta_pp > 1.0 and rate > self.GROWTH_STOP_RATE:
-            self._growing.add(tenant)
-            if self.allocator.grow_group(group):
-                return f"core-side +1 way {group}"
-            return f"core-side {group} at cap"
-        grown = self._continue_growth_sessions(report)
-        if grown:
-            return grown
-        if delta_pp < -1.0 and rate < 0.05:
-            if self.allocator.shrink_group(group,
-                                           floor=self._group_floor(group)):
-                return f"core-side -1 way {group}"
-        return "delegate (no demand)"
-
-    #: Miss rate below which a growth session stops granting ways.
-    GROWTH_STOP_RATE = 0.15
-
-    def _continue_growth_sessions(self, report: ChangeReport) -> str:
-        """Keep granting to tenants in an active growth session while
-        each grant keeps lowering their miss rate meaningfully."""
-        if not self.manage_tenant_ways:
-            return ""
-        actions = []
-        for tenant in sorted(self._growing):
-            rate = report.miss_rate.get(tenant, 0.0)
-            delta_pp = report.miss_rate_delta.get(tenant, 0.0)
-            if rate > self.GROWTH_STOP_RATE and delta_pp < -0.5:
-                group = self.control.tenants.by_name(tenant).group
-                if self.allocator.grow_group(group):
-                    actions.append(f"grow +1 {group}")
-                    continue
-            self._growing.discard(tenant)
-        return ", ".join(actions)
-
-    def _apply_state_action(self, report: ChangeReport) -> str:
-        alloc = self.allocator
-        state = self.state
-        if state is State.LOW_KEEP:
-            if self.manage_ddio and alloc.clamp_ddio_min():
-                return "ddio -> min"
-            return "keep"
-        if state is State.HIGH_KEEP:
-            return "keep(max)"
-        if state is State.IO_DEMAND:
-            if not self.manage_ddio:
-                return "io-demand (ddio frozen)"
-            # UCP-style sizing keys off how steeply the DDIO misses are
-            # climbing (percent change expressed in points).
-            step = alloc.increment_step(report.ddio_miss_delta * 100.0)
-            if alloc.grow_ddio(step=step):
-                return f"ddio +{step}"
-            return "ddio at max"
-        if state is State.CORE_DEMAND:
-            if not self.manage_tenant_ways:
-                return "core-demand (tenant ways frozen)"
-            target = self._select_core_demand_tenant(report)
-            if target is None:
-                return "core-demand (no target)"
-            delta_pp = report.miss_rate_delta.get(target, 0.0)
-            if delta_pp <= 0.5:
-                # Nobody's miss rate is actually rising: granting ways
-                # would be noise-chasing (and would run a group to its
-                # cap in a few intervals).
-                return "core-demand (no rising demand)"
-            group = self.control.tenants.by_name(target).group
-            step = alloc.increment_step(delta_pp)
-            if alloc.grow_group(group, step=step):
-                return f"group +{step} {group}"
-            return f"group at cap {group}"
-        if state is State.RECLAIM:
-            return self._reclaim(report)
-        raise AssertionError(f"unhandled state {state!r}")
-
-    def _select_core_demand_tenant(self, report: ChangeReport) -> "str | None":
-        """Who gets the extra way in Core Demand (Sec. IV-D).
-
-        Aggregation model: the software stack first — its Rx/Tx buffers
-        gate every attached tenant.  Slicing model: the I/O tenant with
-        the largest miss-rate increase (percentage points).
-        """
-        tenants = self.control.tenants
-        stack = tenants.stack
-        if stack is not None:
-            return stack.name
-        candidates = [t.name for t in tenants.io_tenants]
-        if not candidates:
-            return None
-        return max(candidates,
-                   key=lambda name: report.miss_rate_delta.get(name, 0.0))
-
-    def _group_floor(self, group: str) -> int:
-        members = self.control.tenants.group_members(group)
-        return max(max(1, t.initial_ways) for t in members)
-
-    def _group_refs(self, group: str) -> int:
-        members = self.control.tenants.group_members(group)
-        return sum(self._last_refs.get(t.name, 0) for t in members)
-
-    def _group_miss_rate(self, group: str, report: ChangeReport) -> float:
-        members = self.control.tenants.group_members(group)
-        return max((report.miss_rate.get(t.name, 0.0) for t in members),
-                   default=0.0)
-
-    def _reclaim(self, report: ChangeReport) -> str:
-        """Reclaim one way from DDIO (preferred while above the minimum)
-        or from a grown group whose allocation is "more than enough"
-        (Sec. IV-C): low miss rate, smallest LLC reference count first.
-        A grown group that is still missing hard keeps its ways — taking
-        them back would just re-trigger Core Demand next interval."""
-        alloc = self.allocator
-        if self.manage_ddio and not alloc.ddio_at_min:
-            alloc.shrink_ddio()
-            return "ddio -1"
-        if not self.manage_tenant_ways:
-            return "reclaim (frozen)"
-        grown = [group for group, ways in alloc.group_ways.items()
-                 if ways > self._group_floor(group)
-                 and self._group_miss_rate(group, report) < 0.10]
-        if not grown:
-            return "reclaim (nothing to reclaim)"
-        victim = min(grown, key=self._group_refs)
-        alloc.shrink_group(victim, floor=self._group_floor(victim))
-        return f"group -1 {victim}"
-
-    # ------------------------------------------------------------------
-    def _trim_pc_for_isolation(self) -> None:
-        """Keep non-I/O performance-critical groups small enough to fit
-        below the DDIO ways ("the tenants running PC workloads should be
-        isolated from LLC ways for DDIO as much as possible",
-        Sec. IV-D).  Without this, a PC group grown to its cap would be
-        forced into the DDIO region when the mask widens (Fig. 10/11's
-        t=15 s script)."""
-        if not self.manage_tenant_ways:
-            return
-        alloc = self.allocator
-        limit = alloc.num_ways - alloc.ddio_ways
-        if limit < 1:
-            return
-        tenants = self.control.tenants
-        for group, ways in alloc.group_ways.items():
-            members = tenants.group_members(group)
-            pc_non_io = all(t.is_pc and not t.is_io for t in members)
-            if pc_non_io and ways > limit:
-                alloc.group_ways[group] = max(self._group_floor(group),
-                                              limit)
-
-    def _apply_layout(self) -> None:
-        """Plan masks for the current order/counts and program them."""
-        tenants = self.control.tenants
-        self._trim_pc_for_isolation()
-        if self.shuffle:
-            order = self._order
-        else:
-            order = tenants.group_names()
-        layout = self.allocator.layout(order)
-        pqos = self.control.pqos
-        tracer = enabled_tracer()
-        for tenant in tenants:
-            mask = layout.mask_of(tenant)
-            old = (self.layout.group_masks.get(tenant.group)
-                   if self.layout else None)
-            if old != mask:
-                pqos.alloc_set(tenant.cos_id, mask)
-                if tracer is not None:
-                    tracer.instant("mask", "tenant", tenant=tenant.name,
-                                   group=tenant.group, cos=tenant.cos_id,
-                                   mask=mask)
-        if self.manage_ddio and (
-                self.layout is None or self.layout.ddio_mask != layout.ddio_mask):
-            pqos.ddio_set_mask(layout.ddio_mask)
-            if tracer is not None:
-                tracer.instant("mask", "ddio", mask=layout.ddio_mask,
-                               ways=self.allocator.ddio_ways)
+    def apply_layout(self, layout: Layout, *, set_ddio: bool = True) -> None:
+        """Program ``layout``'s deltas vs the current one and adopt it."""
+        self.control.apply_layout(layout, self.layout, set_ddio=set_ddio)
         self.layout = layout
 
     def _finish(self, now: float, kind: ChangeKind, action: str, *,
@@ -386,11 +159,20 @@ class IATDaemon:
         self._log(now, kind, action)
 
     def _log(self, now: float, kind: ChangeKind, action: str) -> None:
+        alloc = getattr(self.policy, "allocator", None)
+        if alloc is not None:
+            ddio_ways = alloc.ddio_ways
+            group_ways = dict(alloc.group_ways)
+        elif self.layout is not None:
+            ddio_ways = bin(self.layout.ddio_mask).count("1")
+            group_ways = {group: bin(mask).count("1")
+                          for group, mask in self.layout.group_masks.items()}
+        else:
+            ddio_ways = 0
+            group_ways = {}
         entry = IterationLog(
-            time=now, state=self.state, kind=kind,
-            ddio_ways=self.allocator.ddio_ways,
-            group_ways=dict(self.allocator.group_ways),
-            action=action)
+            time=now, state=self.policy.state, kind=kind,
+            ddio_ways=ddio_ways, group_ways=group_ways, action=action)
         self.history.append(entry)
         tracer = enabled_tracer()
         if tracer is not None:
@@ -409,3 +191,55 @@ class IATDaemon:
         values = [t.modelled_us if modelled else t.wall_us
                   for t in self.timings if t.stable == stable]
         return sum(values) / len(values) if values else 0.0
+
+
+class IATDaemon(ControllerDaemon):
+    """I/O-aware LLC management daemon (the paper's controller).
+
+    A :class:`ControllerDaemon` driving
+    :class:`~repro.core.policies.IATPolicy`, with delegating properties
+    so existing callers keep reading ``daemon.state``,
+    ``daemon.allocator`` etc. exactly as before the policy split.
+    """
+
+    def __init__(self, control: ControlPlane,
+                 params: "IATParams | None" = None, *,
+                 manage_ddio: bool = True,
+                 manage_tenant_ways: bool = True,
+                 shuffle: bool = True) -> None:
+        from .policies import IATPolicy
+        super().__init__(control, IATPolicy(
+            params, manage_ddio=manage_ddio,
+            manage_tenant_ways=manage_tenant_ways, shuffle=shuffle))
+
+    @property
+    def params(self) -> IATParams:
+        return self.policy.params
+
+    @property
+    def state(self) -> State:
+        return self.policy.state
+
+    @property
+    def allocator(self):
+        return self.policy.allocator
+
+    @property
+    def manage_ddio(self) -> bool:
+        return self.policy.manage_ddio
+
+    @property
+    def manage_tenant_ways(self) -> bool:
+        return self.policy.manage_tenant_ways
+
+    @property
+    def shuffle(self) -> bool:
+        return self.policy.shuffle
+
+    @property
+    def _order(self) -> "list[str]":
+        return self.policy._order
+
+    @property
+    def _growing(self) -> "set[str]":
+        return self.policy._growing

@@ -80,6 +80,7 @@ class ChangeKind(enum.Enum):
     CORE_SIDE = "core-side"          # special case 2: delegate
     SHUFFLE_FIRST = "shuffle-first"  # special case 3: reshuffle layout
     FSM = "fsm"                      # run the state machine
+    POLICY = "policy"                # non-IAT policy made the decision
 
 
 @dataclass
@@ -272,3 +273,72 @@ class ProfMonitor:
         self._prev = sample
         self._prev_miss_rate = {name: t.miss_rate
                                 for name, t in sample.tenants.items()}
+
+
+# ----------------------------------------------------------------------
+# Fairness: per-tenant slowdown estimation (LFOC-style, arXiv:2402.07578)
+# ----------------------------------------------------------------------
+
+def jain_fairness(values) -> float:
+    """Jain's fairness index over a set of positive values.
+
+    ``(sum x)^2 / (n * sum x^2)`` — 1.0 when all values are equal,
+    approaching ``1/n`` when one value dominates.  Zero/negative values
+    are excluded (an idle tenant carries no fairness information)."""
+    vals = [float(v) for v in values if v > 0.0]
+    if not vals:
+        return 1.0
+    total = sum(vals)
+    squares = sum(v * v for v in vals)
+    if squares <= 0.0:
+        return 1.0
+    return (total * total) / (len(vals) * squares)
+
+
+#: Cap on a single tenant's estimated slowdown: an idle tenant's IPC can
+#: approach zero, and an unbounded ratio would swamp the fairness index.
+SLOWDOWN_CAP = 100.0
+
+
+class SlowdownTracker:
+    """Per-tenant slowdown estimate for fairness-oriented policies.
+
+    True slowdown compares against each tenant running *alone*; like
+    LFOC's online approximation we use the best IPC observed so far as
+    the alone-run proxy, so ``slowdown = peak_ipc / current_ipc >= 1``
+    once a tenant has shown its best.  The estimate sharpens over time
+    and is deliberately conservative early on (everyone starts at 1.0).
+    """
+
+    def __init__(self) -> None:
+        self._peak: "dict[str, float]" = {}
+        self.slowdowns: "dict[str, float]" = {}
+
+    def update(self, ipc_by_name: "dict[str, float]") -> "dict[str, float]":
+        """Fold one interval's IPC readings; return current slowdowns."""
+        slowdowns: "dict[str, float]" = {}
+        for name in sorted(ipc_by_name):
+            ipc = float(ipc_by_name[name])
+            peak = self._peak.get(name, 0.0)
+            if ipc > peak:
+                peak = ipc
+                self._peak[name] = ipc
+            if peak <= 0.0:
+                slowdowns[name] = 1.0
+            elif ipc <= peak / SLOWDOWN_CAP:
+                slowdowns[name] = SLOWDOWN_CAP
+            else:
+                slowdowns[name] = peak / ipc
+        self.slowdowns = slowdowns
+        return slowdowns
+
+    def fairness_index(self) -> float:
+        """Jain index over the current slowdowns (1.0 = perfectly fair)."""
+        return jain_fairness(self.slowdowns.values())
+
+    def unfairness(self) -> float:
+        """LFOC's M1-style metric: max slowdown over min slowdown."""
+        if not self.slowdowns:
+            return 1.0
+        vals = list(self.slowdowns.values())
+        return max(vals) / max(min(vals), 1e-9)

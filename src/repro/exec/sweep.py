@@ -26,16 +26,44 @@ from itertools import product
 __all__ = ["Point", "SweepSpec", "canonical_params", "func_ref"]
 
 
+def _canon(value) -> str:
+    """Canonical repr of one parameter value, recursing into containers.
+
+    Dict values are *key-sorted* before rendering: two points whose
+    nested params (e.g. a policy-params dict) hold the same mappings in
+    different insertion orders must produce the same cache key.  Plain
+    ``repr`` preserves insertion order, which made cache identity
+    depend on how a caller happened to build the dict — and let two
+    genuinely different nested configs collide with two spellings of
+    the same one.  Lists/tuples keep their order (it is meaningful);
+    scalars and dataclasses fall back to ``repr``.
+    """
+    if isinstance(value, dict):
+        inner = ", ".join(f"{key!r}: {_canon(value[key])}"
+                          for key in sorted(value))
+        return "{" + inner + "}"
+    if isinstance(value, tuple):
+        inner = ", ".join(_canon(v) for v in value)
+        return "(" + inner + ("," if len(value) == 1 else "") + ")"
+    if isinstance(value, list):
+        return "[" + ", ".join(_canon(v) for v in value) + "]"
+    return repr(value)
+
+
 def canonical_params(params: dict) -> str:
     """Stable textual identity of a point's parameters.
 
-    ``repr`` of the key-sorted item list: deterministic across
-    processes and runs for the parameter types sweeps use (str, int,
-    float, bool, None, tuples, and dataclasses such as
-    :class:`~repro.sim.config.PlatformSpec`, whose generated ``repr``
-    is value-based).
+    The key-sorted item list rendered via :func:`_canon`: deterministic
+    across processes and runs for the parameter types sweeps use (str,
+    int, float, bool, None, tuples, nested dicts such as policy params,
+    and dataclasses such as :class:`~repro.sim.config.PlatformSpec`,
+    whose generated ``repr`` is value-based).  For flat params this
+    matches the historical ``repr(sorted(params.items()))`` format, so
+    pre-existing cache entries stay addressable.
     """
-    return repr(sorted(params.items()))
+    inner = ", ".join(f"({key!r}, {_canon(params[key])})"
+                      for key in sorted(params))
+    return "[" + inner + "]"
 
 
 def func_ref(func) -> str:

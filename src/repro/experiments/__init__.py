@@ -12,23 +12,30 @@
 | fig13_rocksdb_latency   | Fig. 13 | RocksDB weighted latency |
 | fig14_redis_ycsb        | Fig. 14 | Redis tput/avg/p99 degradation |
 | fig15_overhead          | Fig. 15 | daemon iteration cost |
+
+Beyond the figures, :mod:`.compare` is the ``repro compare`` policy
+tournament: the registered controller policies raced across scenarios
+(including the device-diversity ``mixed-nic`` / ``dma-streams`` setups
+in :mod:`.common`) with a ranked throughput/p99/fairness report.
 """
 
-from . import (appbench, common, ext_ddio, fig03_ring_size,
+from . import (appbench, common, compare, ext_ddio, fig03_ring_size,
                fig04_latent_contender, fig08_leaky_dma, fig09_flow_scaling,
                fig10_shuffle, fig11_timeline, fig12_exec_time,
                fig13_rocksdb_latency, fig14_redis_ycsb, fig15_overhead,
                measure, report, sensitivity)
-from .common import (Scenario, kvs_scenario, l3fwd_scenario,
-                     latent_contender_scenario, leaky_dma_scenario,
-                     make_platform, nfv_scenario, shuffle_scenario)
+from .common import (Scenario, dma_stream_scenario, kvs_scenario,
+                     l3fwd_scenario, latent_contender_scenario,
+                     leaky_dma_scenario, make_platform, mixed_nic_scenario,
+                     nfv_scenario, shuffle_scenario)
 
 __all__ = [
-    "Scenario", "appbench", "common", "ext_ddio", "fig03_ring_size",
-    "fig04_latent_contender", "fig08_leaky_dma", "fig09_flow_scaling",
-    "fig10_shuffle", "fig11_timeline", "fig12_exec_time",
-    "fig13_rocksdb_latency", "fig14_redis_ycsb", "fig15_overhead",
-    "kvs_scenario", "l3fwd_scenario", "latent_contender_scenario",
-    "leaky_dma_scenario", "make_platform", "measure", "nfv_scenario",
+    "Scenario", "appbench", "common", "compare", "dma_stream_scenario",
+    "ext_ddio", "fig03_ring_size", "fig04_latent_contender",
+    "fig08_leaky_dma", "fig09_flow_scaling", "fig10_shuffle",
+    "fig11_timeline", "fig12_exec_time", "fig13_rocksdb_latency",
+    "fig14_redis_ycsb", "fig15_overhead", "kvs_scenario",
+    "l3fwd_scenario", "latent_contender_scenario", "leaky_dma_scenario",
+    "make_platform", "measure", "mixed_nic_scenario", "nfv_scenario",
     "report", "sensitivity", "shuffle_scenario",
 ]

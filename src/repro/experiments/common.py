@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core import (ControlPlane, CoreOnlyPolicy, IATDaemon, IATParams,
-                    IOIsoPolicy, StaticPolicy)
+from ..core import (ControllerDaemon, ControlPlane, CoreOnlyPolicy,
+                    IATDaemon, IATParams, IOIsoPolicy, StaticPolicy,
+                    create_policy)
 from ..net.traffic import TrafficSpec
 from ..pci.nic import Nic, VirtualFunction
 from ..pci.ring import DescRing
@@ -82,6 +83,23 @@ class Scenario:
         self.sim.add_controller(controller)
         self.controller = controller
         return controller
+
+    def attach_policy(self, name: str,
+                      params: "dict | None" = None) -> ControllerDaemon:
+        """Attach any *registered* policy behind a ControllerDaemon.
+
+        Where :meth:`attach_controller` wires the figure harnesses'
+        historical controller spellings, this is the registry path the
+        ``repro compare`` tournament uses: ``name`` and ``params`` go
+        through :func:`repro.core.create_policy`, and the resulting
+        policy is driven by a generic daemon (so every policy gets an
+        iteration history and Fig. 15-style timings for free).
+        """
+        daemon = ControllerDaemon(self.control_plane(),
+                                  create_policy(name, params))
+        self.sim.add_controller(daemon)
+        self.controller = daemon
+        return daemon
 
 
 def make_platform(spec: "PlatformSpec | None" = None) -> Platform:
@@ -265,6 +283,90 @@ def shuffle_scenario(*, packet_size: int,
     sim.attach_traffic(nic1, vf1, traffic)
     return Scenario(platform, sim, workloads=workloads,
                     vfs={"c0.vf": vf0, "c1.vf": vf1}, nics=[nic0, nic1])
+
+
+# ---------------------------------------------------------------------------
+# Device-diversity scenarios (A4-style; used by the compare tournament)
+# ---------------------------------------------------------------------------
+def mixed_nic_scenario(*, packet_size: int = 1024,
+                       spec: "PlatformSpec | None" = None,
+                       seed: int = 21) -> Scenario:
+    """Three NIC classes — 100/40/10 GbE — each feeding its own
+    forwarding container, next to a cache-hungry PC X-Mem and a
+    streaming BE X-Mem.
+
+    The A4-style device-diversity case: the fast NIC's inline DMA
+    dominates the DDIO ways while the slow NICs barely register, so an
+    I/O-aware policy must size the I/O partition for the *aggregate*
+    pressure and keep the cache-sensitive app clear of it.
+    """
+    platform = make_platform(spec)
+    sim = Simulation(platform, seed=seed)
+    freq = platform.spec.freq_hz
+    workloads: "dict[str, Workload]" = {}
+    vfs: "dict[str, VirtualFunction]" = {}
+    nics: "list[Nic]" = []
+    for i, gbps in enumerate((100.0, 40.0, 10.0)):
+        nic = platform.add_nic(f"nic{i}", gbps)
+        vf = nic.add_vf(name=f"fwd{i}.vf")
+        pmd = TestPmd(f"fwd{i}", [vf.rx_ring], core_freq_hz=freq)
+        sim.add_tenant(Tenant(f"fwd{i}", cores=(i,), priority=Priority.PC,
+                              is_io=True, initial_ways=2), pmd)
+        workloads[f"fwd{i}"] = pmd
+        vfs[f"fwd{i}.vf"] = vf
+        nics.append(nic)
+        sim.attach_traffic(nic, vf, line_rate(platform, gbps, packet_size))
+    app = XMem("app", 8 << 20, core_freq_hz=freq)
+    sim.add_tenant(Tenant("app", cores=(3,), priority=Priority.PC,
+                          initial_ways=2), app)
+    workloads["app"] = app
+    be = XMem("be0", 32 << 20, core_freq_hz=freq)
+    sim.add_tenant(Tenant("be0", cores=(4,), priority=Priority.BE,
+                          initial_ways=1), be)
+    workloads["be0"] = be
+    return Scenario(platform, sim, workloads=workloads, vfs=vfs, nics=nics)
+
+
+def dma_stream_scenario(*, n_streams: int = 3, packet_size: int = 1500,
+                        spec: "PlatformSpec | None" = None,
+                        seed: int = 22) -> Scenario:
+    """One 100 GbE device hosting ``n_streams`` virtual functions, each
+    streaming large frames into its own lightweight consumer — the
+    stand-in for accelerator/xmem-style DMA streams — plus a
+    cache-sensitive PC X-Mem and a BE streamer.
+
+    Maximum inline-DMA byte pressure per delivered packet: the scenario
+    that separates policies which *size* the DDIO partition (IAT, IOCA)
+    from ones that ignore it (core-only, LFOC).
+    """
+    if n_streams < 1:
+        raise ValueError("need at least one DMA stream")
+    platform = make_platform(spec)
+    sim = Simulation(platform, seed=seed)
+    freq = platform.spec.freq_hz
+    nic = platform.add_nic("nic0", 100.0)
+    workloads: "dict[str, Workload]" = {}
+    vfs: "dict[str, VirtualFunction]" = {}
+    for i in range(n_streams):
+        vf = nic.add_vf(name=f"dma{i}.vf")
+        pmd = TestPmd(f"dma{i}", [vf.rx_ring], core_freq_hz=freq)
+        sim.add_tenant(Tenant(f"dma{i}", cores=(i,), priority=Priority.PC,
+                              is_io=True, initial_ways=1), pmd)
+        workloads[f"dma{i}"] = pmd
+        vfs[f"dma{i}.vf"] = vf
+        sim.attach_traffic(nic, vf,
+                           line_rate(platform, 100.0 / n_streams,
+                                     packet_size))
+    app = XMem("app", 6 << 20, core_freq_hz=freq)
+    sim.add_tenant(Tenant("app", cores=(n_streams,), priority=Priority.PC,
+                          initial_ways=2), app)
+    workloads["app"] = app
+    be = XMem("be0", 24 << 20, core_freq_hz=freq)
+    sim.add_tenant(Tenant("be0", cores=(n_streams + 1,),
+                          priority=Priority.BE, initial_ways=1), be)
+    workloads["be0"] = be
+    return Scenario(platform, sim, workloads=workloads, vfs=vfs,
+                    nics=[nic])
 
 
 # ---------------------------------------------------------------------------

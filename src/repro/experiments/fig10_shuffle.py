@@ -20,7 +20,7 @@ collapses in phase 3 when DDIO takes 4 of its 9 usable ways.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..cache.ddio import ddio_mask_for_ways
 from ..exec import ParallelRunner, SweepSpec, run_sweep
@@ -39,6 +39,11 @@ class Fig10Point:
     phase2_latency_ns: float
     phase3_throughput: float
     phase3_latency_ns: float
+    #: The controller's per-interval history (IAT only; empty for the
+    #: comparison policies, which keep no iteration log).  Serialized as
+    #: ``IterationLog`` dataclasses — the daemon-equivalence tests pin
+    #: these field-for-field against pre-refactor goldens.
+    daemon_history: list = field(default_factory=list)
 
 
 @dataclass
@@ -62,9 +67,10 @@ class Fig10Result:
 
 def run_one(mode: str, packet_size: int, *,
             t_grow: float = 5.0, t_ddio: float = 15.0, t_end: float = 25.0,
-            settle_s: float = 5.0,
+            settle_s: float = 5.0, seed: int = 10,
             spec: "PlatformSpec | None" = None) -> Fig10Point:
-    scenario = shuffle_scenario(packet_size=packet_size, spec=spec)
+    scenario = shuffle_scenario(packet_size=packet_size, spec=spec,
+                                seed=seed)
     if mode == "iat":
         scenario.attach_controller("iat", manage_ddio=False)
     else:
@@ -93,7 +99,8 @@ def run_one(mode: str, packet_size: int, *,
         phase2_throughput=results[2].ops_per_sec(scenario.time_scale),
         phase2_latency_ns=results[2].avg_latency_cycles / freq * 1e9,
         phase3_throughput=results[3].ops_per_sec(scenario.time_scale),
-        phase3_latency_ns=results[3].avg_latency_cycles / freq * 1e9)
+        phase3_latency_ns=results[3].avg_latency_cycles / freq * 1e9,
+        daemon_history=list(getattr(scenario.controller, "history", [])))
 
 
 def sweep(*, packet_sizes=(64, 256, 1024, 1500), modes=MODES,

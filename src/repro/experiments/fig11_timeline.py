@@ -49,9 +49,11 @@ class Fig11Result:
 
 def run_point(packet_size: int = 1500, *, t_grow: float = 5.0,
               t_ddio: float = 15.0, t_end: float = 20.0,
+              seed: int = 10,
               spec: "PlatformSpec | None" = None) -> Fig11Result:
     """The timeline is a single sweep point (one traced run)."""
-    scenario = shuffle_scenario(packet_size=packet_size, spec=spec)
+    scenario = shuffle_scenario(packet_size=packet_size, spec=spec,
+                                seed=seed)
     daemon = scenario.attach_controller("iat", manage_ddio=False)
     sim = scenario.sim
     platform = scenario.platform
@@ -73,20 +75,21 @@ def run_point(packet_size: int = 1500, *, t_grow: float = 5.0,
 
 
 def sweep(*, packet_size: int = 1500, t_grow: float = 5.0,
-          t_ddio: float = 15.0, t_end: float = 20.0,
+          t_ddio: float = 15.0, t_end: float = 20.0, seed: int = 10,
           spec: "PlatformSpec | None" = None) -> SweepSpec:
     return SweepSpec.from_points(
         "fig11", run_point,
         [dict(packet_size=packet_size, t_grow=t_grow, t_ddio=t_ddio,
-              t_end=t_end, spec=spec)])
+              t_end=t_end, seed=seed, spec=spec)])
 
 
 def run(*, packet_size: int = 1500, t_grow: float = 5.0,
-        t_ddio: float = 15.0, t_end: float = 20.0,
+        t_ddio: float = 15.0, t_end: float = 20.0, seed: int = 10,
         spec: "PlatformSpec | None" = None,
         runner: "ParallelRunner | None" = None) -> Fig11Result:
     return run_sweep(sweep(packet_size=packet_size, t_grow=t_grow,
-                           t_ddio=t_ddio, t_end=t_end, spec=spec),
+                           t_ddio=t_ddio, t_end=t_end, seed=seed,
+                           spec=spec),
                      runner)[0]
 
 

@@ -22,6 +22,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
+from ..core.monitor import SlowdownTracker
 from ..net.traffic import PhasedTraffic, TrafficGen, TrafficSpec
 from ..obs.metrics import REGISTRY
 from ..obs.tracer import current_tracer
@@ -108,6 +109,9 @@ class Simulation:
         # ENGINE_STATS so per-quantum deltas belong to this simulation.
         self._engine_last = ENGINE_STATS.snapshot()
         self._engine_delta: "dict | None" = None
+        # Fairness export: per-tenant slowdown estimates fed to the
+        # metrics registry each quantum (LFOC-style, peak-IPC proxy).
+        self._slowdowns = SlowdownTracker()
 
     # ------------------------------------------------------------------
     # Scenario construction
@@ -401,6 +405,17 @@ class Simulation:
         for name, snap in record.tenants.items():
             ipc.labels(tenant=name).set(snap.ipc)
             misses.labels(tenant=name).inc(snap.llc_misses)
+        slowdowns = self._slowdowns.update(
+            {name: snap.ipc for name, snap in record.tenants.items()})
+        slow = reg.gauge("repro_tenant_slowdown",
+                         "Estimated slowdown (best observed IPC over "
+                         "current IPC, LFOC-style)")
+        for name, value in slowdowns.items():
+            slow.labels(tenant=name).set(value)
+        reg.gauge("repro_fairness_index",
+                  "Jain fairness index over per-tenant slowdowns "
+                  "(1.0 = perfectly fair)").set(
+            self._slowdowns.fairness_index())
         ddio_total = record.ddio_hits + record.ddio_misses
         reg.gauge("repro_ddio_hit_rate",
                   "DDIO hit fraction over the last quantum").set(

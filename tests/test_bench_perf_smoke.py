@@ -73,6 +73,45 @@ class TestBenchSchema:
         assert obs["sample_every"] > 1
         assert obs["events"] > obs["events_sampled"] > 0
 
+    def test_compare_entry(self, bench_doc):
+        cmp_doc = bench_doc["compare"]
+        assert cmp_doc["points"] == \
+            len(cmp_doc["policies"]) * len(cmp_doc["scenarios"])
+        assert cmp_doc["winner"] == cmp_doc["ranking"][0]["policy"]
+        assert all(0.0 < e["score"] <= 1.0 for e in cmp_doc["ranking"])
+        assert cmp_doc["wall_s"] > 0
+
+    def test_validate_rejects_collapsed_tournament(self, bench_doc):
+        runner = _load("run")
+        broken = json.loads(json.dumps(bench_doc))
+        broken["compare"]["points"] -= 1
+        with pytest.raises(AssertionError):
+            runner.validate(broken)
+
+    def test_perf_gate_compare_shape(self):
+        """The compare gate checks shape (full cross-product, sane
+        scores) but never wall time, and stays silent when the fresh
+        document predates the section."""
+        checker = _load("check_perf")
+        committed = {"scale": "default", "engine": {"speedup": 10.0}}
+        cmp_doc = {"policies": ["a", "b"], "scenarios": ["x"],
+                   "points": 2, "winner": "a", "point_s": 1.0,
+                   "ranking": [{"policy": "a", "score": 1.0},
+                               {"policy": "b", "score": 0.5}]}
+        fresh = {"scale": "default", "engine": {"speedup": 10.0},
+                 "compare": cmp_doc}
+        ok, message = checker.check(fresh, committed)
+        assert ok and "compare:" in message
+        broken = json.loads(json.dumps(fresh))
+        broken["compare"]["points"] = 1
+        assert not checker.check(broken, committed)[0]
+        broken = json.loads(json.dumps(fresh))
+        broken["compare"]["ranking"][0]["score"] = 1.2
+        assert not checker.check(broken, committed)[0]
+        ok, message = checker.check(
+            {"scale": "default", "engine": {"speedup": 10.0}}, committed)
+        assert ok and "compare:" not in message
+
     def test_perf_gate_obs_overhead(self):
         """The obs gate fails only when fresh enabled_overhead exceeds
         committed by more than the absolute margin, and stays silent

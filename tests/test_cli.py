@@ -76,6 +76,48 @@ class TestParser:
         assert main(["trace", "fig99"]) == 2
         assert "unknown figure" in capsys.readouterr().err
 
+    def test_compare_parser_defaults(self):
+        args = build_parser().parse_args(["compare", "--fast"])
+        assert args.fast
+        assert args.policies is None
+        assert args.scenarios is None
+        assert args.seeds is None
+        assert args.json is None
+
+
+class TestPoliciesCommand:
+    def test_lists_registered_policies_with_tunables(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("iat", "ioca", "lfoc", "static"):
+            assert name in out
+        assert "interval_s" in out           # an IATParams tunable
+        assert "unfairness_threshold" in out  # an lfoc constructor knob
+
+
+class TestCompareCommand:
+    def test_unknown_policy_rejected(self, capsys):
+        assert main(["compare", "--policies", "nope"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["compare", "--scenarios", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_small_tournament_with_json_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "report.json"
+        assert main(["compare", "--policies", "iat,static",
+                     "--scenarios", "shuffle", "--duration", "1.5",
+                     "--warmup", "0.5", "--jobs", "1", "--no-cache",
+                     "--json", str(out)]) == 0
+        table = capsys.readouterr().out
+        assert "rank" in table and "shuffle" in table
+        doc = json.loads(out.read_text())
+        assert {e["policy"] for e in doc["ranking"]} == {"iat", "static"}
+        assert len(doc["points"]) == 2
+
 
 class TestFigureFast:
     def test_fig15_fast_runs(self, capsys):

@@ -1,0 +1,125 @@
+"""The ``repro compare`` tournament: measurement, ranking math, and
+cache-key separation between policies."""
+
+import json
+
+import pytest
+
+from repro.exec import point_key
+from repro.experiments import compare
+from repro.experiments.compare import ComparePoint, CompareResult
+
+
+def cell(policy, scenario="s", seed=0, tput=1.0, p99=1.0, fair=1.0):
+    return ComparePoint(policy=policy, scenario=scenario, seed=seed,
+                        throughput=tput, p99_latency_us=p99,
+                        fairness=fair)
+
+
+class TestRankingMath:
+    def test_sweeping_winner_scores_one(self):
+        result = CompareResult([
+            cell("a", tput=2.0, p99=0.5, fair=1.0),
+            cell("b", tput=1.0, p99=1.0, fair=0.5),
+        ])
+        ranking = result.ranking()
+        assert ranking[0] == ("a", 1.0)
+        assert ranking[1][0] == "b"
+        assert 0.0 < ranking[1][1] < 1.0
+
+    def test_scores_normalize_per_scenario(self):
+        # "b" wins the easy scenario, "a" the hard one; the mean of the
+        # normalized cells decides, not absolute magnitudes.
+        result = CompareResult([
+            cell("a", scenario="hard", tput=10.0),
+            cell("b", scenario="hard", tput=5.0),
+            cell("a", scenario="easy", tput=1000.0),
+            cell("b", scenario="easy", tput=2000.0),
+        ])
+        scores = result.cell_scores()
+        assert scores[("a", "hard", 0)] == 1.0
+        assert scores[("b", "easy", 0)] == 1.0
+        assert scores[("b", "hard", 0)] < 1.0
+        assert scores[("a", "easy", 0)] < 1.0
+
+    def test_missing_latency_axis_is_skipped(self):
+        result = CompareResult([
+            cell("a", p99=0.0), cell("b", p99=0.0)])
+        assert result.cell_scores()[("a", "s", 0)] == 1.0
+
+    def test_json_report_is_serializable_and_ranked(self):
+        result = CompareResult([cell("a", tput=2.0), cell("b")])
+        doc = json.loads(json.dumps(result.to_json_dict()))
+        assert [e["policy"] for e in doc["ranking"]] == ["a", "b"]
+        assert len(doc["points"]) == 2
+        assert doc["points"][0]["throughput"] == 2.0
+
+    def test_format_table_names_everything(self):
+        result = CompareResult([cell("a", scenario="x"),
+                                cell("b", scenario="x")])
+        table = compare.format_table(result)
+        assert "rank" in table and "a" in table and "x" in table
+
+
+class TestSweepIdentity:
+    def test_policy_is_part_of_the_cache_key(self):
+        spec = compare.sweep(policies=("iat", "lfoc"),
+                             scenarios=("shuffle",))
+        keys = {point_key(spec, p) for p in spec.points}
+        assert len(keys) == len(spec.points) == 2
+
+    def test_policy_params_distinguish_cache_keys(self):
+        a = compare.sweep(policies=("iat",), scenarios=("shuffle",),
+                          policy_params={"interval_s": 1.0})
+        b = compare.sweep(policies=("iat",), scenarios=("shuffle",),
+                          policy_params={"interval_s": 0.5})
+        assert point_key(a, a.points[0]) != point_key(b, b.points[0])
+
+    def test_param_dict_order_does_not_change_the_key(self):
+        a = compare.sweep(policies=("iat",), scenarios=("shuffle",),
+                          policy_params={"interval_s": 1.0,
+                                         "shuffle": False})
+        b = compare.sweep(policies=("iat",), scenarios=("shuffle",),
+                          policy_params={"shuffle": False,
+                                         "interval_s": 1.0})
+        assert point_key(a, a.points[0]) == point_key(b, b.points[0])
+
+    def test_unknown_scenario_rejected_up_front(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            compare.sweep(scenarios=("nope",))
+        with pytest.raises(KeyError, match="mixed-nic"):
+            compare.build_scenario("nope")
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compare.run(policies=("iat", "lfoc"),
+                           scenarios=("mixed-nic", "shuffle"),
+                           duration=2.5, warmup=0.5)
+
+    def test_full_cross_product_ran(self, result):
+        assert len(result.points) == 4
+        assert set(result.policies()) == {"iat", "lfoc"}
+        assert set(result.scenarios()) == {"mixed-nic", "shuffle"}
+
+    def test_cells_carry_real_measurements(self, result):
+        for point in result.points:
+            assert point.throughput > 0
+            assert point.p99_latency_us > 0  # both scenarios sample
+            assert 0.0 < point.fairness <= 1.0
+            assert point.slowdowns, "no per-tenant slowdowns recorded"
+
+    def test_ranking_covers_every_policy(self, result):
+        ranking = result.ranking()
+        assert {policy for policy, _ in ranking} == {"iat", "lfoc"}
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 < s <= 1.0 for s in scores)
+
+    def test_points_are_deterministic(self, result):
+        again = compare.run_point("iat", "mixed-nic", seed=0,
+                                  duration=2.5, warmup=0.5)
+        first = next(p for p in result.points
+                     if p.policy == "iat" and p.scenario == "mixed-nic")
+        assert again == first

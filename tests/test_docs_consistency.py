@@ -16,7 +16,7 @@ def read(name: str) -> str:
 class TestDeliverablesExist:
     @pytest.mark.parametrize("path", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml",
-        "docs/modeling.md", "docs/architecture.md",
+        "docs/modeling.md", "docs/architecture.md", "docs/policies.md",
         "examples/quickstart.py", "examples/leaky_dma_aggregation.py",
         "examples/latent_contender_slicing.py",
         "examples/nfv_service_chain.py", "examples/tenants.example.txt",

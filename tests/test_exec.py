@@ -32,6 +32,23 @@ class TestCanonicalParams:
         assert canonical_params({"a": 1}) != canonical_params({"a": 2})
         assert canonical_params({"a": 1}) != canonical_params({"a": 1.0})
 
+    def test_flat_params_keep_the_historical_format(self):
+        # Pre-existing cache entries were keyed by
+        # repr(sorted(params.items())); flat params must still render
+        # identically so they stay addressable.
+        params = {"b": 2, "a": "x", "c": (1,), "d": None, "e": 1.5}
+        assert canonical_params(params) == repr(sorted(params.items()))
+
+    def test_nested_dicts_are_order_insensitive(self):
+        a = {"policy_params": {"interval_s": 1.0, "shuffle": False}}
+        b = {"policy_params": {"shuffle": False, "interval_s": 1.0}}
+        assert canonical_params(a) == canonical_params(b)
+
+    def test_nested_dict_values_still_distinguish(self):
+        a = {"policy_params": {"interval_s": 1.0}}
+        b = {"policy_params": {"interval_s": 0.5}}
+        assert canonical_params(a) != canonical_params(b)
+
     def test_func_ref(self):
         assert func_ref(add_point) == f"{__name__}:add_point"
 

@@ -5,8 +5,9 @@ import pytest
 from repro.cache.cat import CatController
 from repro.cache.ddio import DdioConfig
 from repro.cache.geometry import TINY_LLC
-from repro.core.monitor import (ChangeKind, ProfMonitor, SystemSample,
-                                TenantSample, rel_change)
+from repro.core.monitor import (SLOWDOWN_CAP, ChangeKind, ProfMonitor,
+                                SlowdownTracker, SystemSample,
+                                TenantSample, jain_fairness, rel_change)
 from repro.core.params import IATParams
 from repro.perf.counters import CounterFile
 from repro.perf.msr import SimMsr
@@ -143,3 +144,61 @@ class TestClassification:
         monitor.close()
         with pytest.raises(KeyError):
             monitor.poll()
+
+
+class TestJainFairness:
+    def test_equal_values_are_perfectly_fair(self):
+        assert jain_fairness([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_maximal_skew_approaches_one_over_n(self):
+        assert jain_fairness([1.0, 1e-9, 1e-9, 1e-9]) \
+            == pytest.approx(0.25, rel=1e-3)
+
+    def test_empty_and_nonpositive_values(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, -1.0]) == 1.0
+        # Non-positive entries are dropped, not averaged in.
+        assert jain_fairness([3.0, 0.0]) == pytest.approx(1.0)
+
+    def test_known_two_point_value(self):
+        # (1+3)^2 / (2 * (1+9)) = 16/20
+        assert jain_fairness([1.0, 3.0]) == pytest.approx(0.8)
+
+
+class TestSlowdownTracker:
+    def test_first_observation_is_no_slowdown(self):
+        tracker = SlowdownTracker()
+        assert tracker.update({"a": 1.5}) == {"a": 1.0}
+
+    def test_slowdown_is_peak_over_current(self):
+        tracker = SlowdownTracker()
+        tracker.update({"a": 2.0})
+        assert tracker.update({"a": 1.0})["a"] == pytest.approx(2.0)
+        # Recovering past the old peak re-anchors it.
+        assert tracker.update({"a": 4.0})["a"] == pytest.approx(1.0)
+        assert tracker.update({"a": 2.0})["a"] == pytest.approx(2.0)
+
+    def test_collapse_is_capped(self):
+        tracker = SlowdownTracker()
+        tracker.update({"a": 1.0})
+        assert tracker.update({"a": 0.0})["a"] == SLOWDOWN_CAP
+
+    def test_unfairness_is_max_over_min(self):
+        tracker = SlowdownTracker()
+        tracker.update({"a": 2.0, "b": 2.0})
+        tracker.update({"a": 1.0, "b": 2.0})   # a slowed 2x, b not
+        assert tracker.unfairness() == pytest.approx(2.0)
+
+    def test_fairness_index_tracks_jain(self):
+        tracker = SlowdownTracker()
+        tracker.update({"a": 2.0, "b": 2.0})
+        assert tracker.fairness_index() == pytest.approx(1.0)
+        tracker.update({"a": 1.0, "b": 2.0})
+        slow = tracker.update({"a": 1.0, "b": 2.0})
+        assert tracker.fairness_index() \
+            == pytest.approx(jain_fairness(slow.values()))
+
+    def test_empty_tracker_is_neutral(self):
+        tracker = SlowdownTracker()
+        assert tracker.fairness_index() == 1.0
+        assert tracker.unfairness() == 1.0
