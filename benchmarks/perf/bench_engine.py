@@ -13,7 +13,9 @@ and drops).
 ``stages`` reports where the vectorized run spends its wall time,
 from the engine's self-profiling tracer: shares of the quantum loop
 attributed to traffic sampling + DMA, workload drains, metric
-recording, and controllers.
+recording, and controllers; ``stages.workloads_split`` further
+attributes the drain stage per layer (plan build vs. LLC access vs.
+everything else), normalized within the workloads stage.
 """
 
 from __future__ import annotations
@@ -89,10 +91,28 @@ def _stage_shares(scale: str) -> dict:
     stage = {key[len(prefix):]: seconds
              for key, seconds in tracer.profile.items()
              if key.startswith(prefix)}
-    total = sum(stage.values())
+    # Dotted keys (e.g. ``workloads.plan`` / ``workloads.llc``) are
+    # sub-accumulators *inside* a top-level stage: they attribute the
+    # workloads stage per layer but must not double-count into the
+    # quantum-loop normalization.
+    nested = {name: seconds for name, seconds in stage.items()
+              if "." in name}
+    top = {name: seconds for name, seconds in stage.items()
+           if "." not in name}
+    total = sum(top.values())
     if total <= 0.0:
         return {}
-    return {name: seconds / total for name, seconds in sorted(stage.items())}
+    shares = {name: seconds / total for name, seconds in sorted(top.items())}
+    for name, seconds in sorted(nested.items()):
+        parent, _, child = name.partition(".")
+        parent_s = top.get(parent, 0.0)
+        if parent_s <= 0.0:
+            continue
+        split = shares.setdefault(f"{parent}_split", {})
+        split[child] = seconds / parent_s
+        split["other"] = max(0.0, 1.0 - sum(
+            share for key, share in split.items() if key != "other"))
+    return shares
 
 
 def run_engine(scale: str = "default") -> dict:

@@ -17,7 +17,12 @@ meaningful unit).  The obs gate only engages when both documents carry
 an ``obs`` section.  ``--engine-floor`` adds an *absolute* speedup
 floor on top of the relative gate: CI pins it to 0.8x the speedup the
 speculative run-ahead engine committed, so the gate keeps biting even
-if a slower document is ever (re-)committed.  When the fresh document
+if a slower document is ever (re-)committed.  ``--launches-ceiling``
+gates ``engine.spec.kernel_launches_per_chunk`` the same absolute way:
+the fused drain pipeline budgets single-digit-ish NumPy launches per
+chunk, and that count is host-independent, so a fresh document above
+the ceiling means dispatch overhead crept back regardless of how fast
+the CI runner is.  When the fresh document
 carries a ``compare`` section (the ``repro compare`` policy
 tournament), its *shape* is gated too — full policy x scenario
 cross-product, scores in (0, 1] — while its wall time is reported but
@@ -41,7 +46,8 @@ DEFAULT_COMMITTED = os.path.join(_HERE, "BENCH_llc.json")
 
 def check(fresh: dict, committed: dict, threshold: float = 0.8,
           obs_margin: float = 0.10,
-          engine_floor: "float | None" = None) -> "tuple[bool, str]":
+          engine_floor: "float | None" = None,
+          launches_ceiling: "float | None" = None) -> "tuple[bool, str]":
     """``(ok, message)`` for a fresh-vs-committed comparison."""
     if fresh.get("scale") != committed.get("scale"):
         raise ValueError(
@@ -63,6 +69,22 @@ def check(fresh: dict, committed: dict, threshold: float = 0.8,
         ok = ok and fresh_speedup >= engine_floor
         messages.append(f"engine floor: fresh {fresh_speedup:.2f}x vs "
                         f"required {engine_floor:.2f}x (absolute)")
+    if launches_ceiling is not None:
+        # Dispatch-overhead gate: the fused drain pipeline keeps NumPy
+        # kernel launches per chunk in the single digits; a fresh
+        # document above the ceiling means per-chunk dispatch crept
+        # back in, even if this host is fast enough to hide it in the
+        # wall-clock speedup.
+        launches = (fresh["engine"].get("spec") or {}) \
+            .get("kernel_launches_per_chunk")
+        if launches is None:
+            ok = False
+            messages.append("launches ceiling: fresh document carries no "
+                            "engine.spec.kernel_launches_per_chunk")
+        else:
+            ok = ok and launches <= launches_ceiling
+            messages.append(f"kernel launches/chunk: fresh {launches:.1f} "
+                            f"vs ceiling {launches_ceiling:.1f}")
     fresh_cmp = fresh.get("compare") or {}
     if fresh_cmp:
         # Structural gate only: tournament wall time is host-dependent,
@@ -114,6 +136,10 @@ def main(argv=None) -> int:
                         help="absolute minimum engine speedup (CI pins "
                              "this to 0.8x the committed run-ahead "
                              "number so the gate survives re-commits)")
+    parser.add_argument("--launches-ceiling", type=float, default=None,
+                        help="maximum engine.spec.kernel_launches_per_chunk "
+                             "(CI pins this to the fused-pipeline budget "
+                             "so dispatch overhead cannot creep back)")
     args = parser.parse_args(argv)
     with open(args.fresh) as handle:
         fresh = json.load(handle)
@@ -121,7 +147,8 @@ def main(argv=None) -> int:
         committed = json.load(handle)
     try:
         ok, message = check(fresh, committed, args.threshold,
-                            args.obs_margin, args.engine_floor)
+                            args.obs_margin, args.engine_floor,
+                            args.launches_ceiling)
     except ValueError as error:
         print(f"check_perf: {error}")
         return 2

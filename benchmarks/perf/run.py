@@ -99,8 +99,16 @@ def validate(doc: dict) -> None:
     stages = engine.get("stages")
     if stages is not None:  # absent in pre-breakdown documents (additive)
         assert isinstance(stages, dict)
-        for share in stages.values():
-            assert 0.0 <= share <= 1.0
+        for name, share in stages.items():
+            if name.endswith("_split"):
+                # Per-layer attribution inside one stage (e.g.
+                # workloads_split.plan/llc/other), normalized within
+                # that stage (additive since the fused-pipeline PR).
+                assert isinstance(share, dict)
+                for sub in share.values():
+                    assert 0.0 <= sub <= 1.0
+            else:
+                assert 0.0 <= share <= 1.0
     obs = doc.get("obs")
     if obs is not None:  # absent in pre-obs documents (schema additive)
         for key in ("scenario", "baseline_s", "disabled_s", "enabled_s",
@@ -175,9 +183,19 @@ def main(argv=None) -> int:
               f" (vs {engine['chunk_packets_mean_nospec']:.1f} worst-case)"
               f"  rollbacks {spec['rollbacks']}/{spec['spec_chunks']}"
               f" ({spec['rollback_rate']:.1%})")
-    for name, share in sorted(engine.get("stages", {}).items(),
+    stages = engine.get("stages", {})
+    splits = {name: share for name, share in stages.items()
+              if name.endswith("_split")}
+    for name, share in sorted((kv for kv in stages.items()
+                               if not kv[0].endswith("_split")),
                               key=lambda kv: kv[1], reverse=True):
         print(f"       stage {name:>12}: {share:.1%}")
+        split = splits.get(f"{name}_split")
+        if split:
+            inner = "  ".join(f"{sub} {val:.1%}" for sub, val
+                              in sorted(split.items(), key=lambda kv: kv[1],
+                                        reverse=True))
+            print(f"             {name} by layer: {inner}")
     rollback = doc.get("rollback")
     if rollback is not None:
         print(f"rollback x{rollback['accesses']}: "

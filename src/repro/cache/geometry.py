@@ -126,9 +126,17 @@ class CacheGeometry:
             self.line_size.bit_length() - 1)
         mixed = _mix64_batch(lines)
         slices = np.uint64(self.slices)
-        slice_id = mixed % slices
-        set_id = (mixed // slices) % np.uint64(self.sets_per_slice)
-        index = (slice_id * np.uint64(self.sets_per_slice) + set_id)
+        sets = self.sets_per_slice
+        # One division instead of three: derive the remainder from the
+        # quotient, and reduce modulo ``sets_per_slice`` with a bitmask
+        # when it is a power of two (the default geometry).
+        quot = mixed // slices
+        slice_id = mixed - quot * slices
+        if sets & (sets - 1) == 0:
+            set_id = quot & np.uint64(sets - 1)
+        else:
+            set_id = quot % np.uint64(sets)
+        index = (slice_id * np.uint64(sets) + set_id)
         return index.view(np.int64), lines
 
     def slice_of_batch(self, addrs: "np.ndarray") -> "np.ndarray":

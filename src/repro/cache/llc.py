@@ -78,6 +78,13 @@ _VECTOR_MIN = 8
 #: per-access loop instead of further vectorized rounds.
 _SEQ_MAX = 24
 
+#: A vectorized follower round must cover at least this many distinct
+#: sets to be worth a kernel launch; below it the whole remainder drains
+#: through the per-access loop (a tiny round means a few sets carry deep
+#: same-set chains, which would otherwise decay into one near-empty
+#: round per chain link).
+_ROUND_MIN = 12
+
 #: Journal entry kinds: a recency/dirty update (hit path) or a full
 #: cell replacement (fill path).  Entries store flat-slot pre-images.
 _J_TOUCH = 0
@@ -281,6 +288,14 @@ class SlicedLLC:
             self._dirty_flat = self._dirty.reshape(-1)
             self._owner_flat = self._owner.reshape(-1)
             self._invalid_key = _STAMP_LO + self._way_range
+            self._total_lines = nsets * nways
+            # Per-mask cache of the (ways,) allowed-way row used by the
+            # batch victim key (way masks are a handful of CLOS values).
+            self._allowed_rows: "dict[int, np.ndarray]" = {}
+            # Per-set scratch for the batch engine's sort-free
+            # first-occurrence scatter (contents are never read beyond
+            # the cells a batch writes, so no init needed).
+            self._first_scratch = np.empty(nsets, dtype=np.int64)
         self._clock = 0
         # Cheap deterministic LCG for the random policy (avoids numpy
         # overhead in the per-access hot path).
@@ -512,62 +527,108 @@ class SlicedLLC:
         # been filled earlier in the batch: hits never modify the tag
         # array, so if the whole batch hits we are done after updating
         # recency, and otherwise the snapshot still resolves the first
-        # access to each set (the bulk of every realistic stream).
+        # access to each set (the bulk of every realistic stream).  The
+        # (n, ways) compare is consumed immediately into the per-access
+        # hit/way vectors shared by every branch below — later passes
+        # work on 1-D gathers of these instead of re-deriving (or
+        # fancy-indexing) the 2-D equality matrix.
         row_tags = self._tags[index]
         eq = row_tags == tag[:, None]
-        hit0 = eq.any(axis=1)
+        # ``any(axis=1)`` over 11-wide rows costs more than argmax plus
+        # a flat re-check (axis reductions over short rows are slow), so
+        # derive the hit vector from the winning way instead.
+        way0 = eq.argmax(axis=1)
+        pos = np.arange(n, dtype=np.int64)
+        hit0 = row_tags.reshape(-1)[pos * ways + way0] == tag
         if hit0.all():
             out = _empty_batch(n)
-            slot = index * ways + eq.argmax(axis=1)
+            slot = index * ways + way0
             journal = self._journal
             if journal is not None:
+                # Duplicate slots gather the same (pre-batch) pre-image
+                # for every occurrence; reverse replay lands it last, so
+                # rollback is exact without deduplication.
                 journal.append((_J_TOUCH, slot, self._stamp_flat[slot],
                                 self._dirty_flat[slot]))
-            if n > 1:
-                # Duplicate (set, way) pairs take the latest stamp, as
-                # the scalar loop would leave them.
-                order = np.argsort(slot, kind="stable")
-                ss = slot[order]
-                last = np.empty(n, dtype=bool)
-                last[-1] = True
-                np.not_equal(ss[1:], ss[:-1], out=last[:-1])
-                keep = order[last]
-                self._stamp_flat[slot[keep]] = clk[keep]
-            else:
-                self._stamp_flat[slot] = clk
+            # Fancy assignment keeps the *last* value per repeated index
+            # (documented indexing semantics), which is exactly the
+            # stamp the scalar loop would leave on duplicate slots.
+            self._stamp_flat[slot] = clk
             self._set_dirty(slot, write)
             out.hit[:] = True
             return out
 
-        # Group by set: entries with rank r are the (r+1)-th access to
-        # their set within the batch.  All rank-r entries touch distinct
-        # sets, so each round is conflict-free and fully vectorized;
-        # rounds run in ascending rank, so same-set accesses apply in
+        # Group by set, without sorting: scatter each access's batch
+        # position into a per-set cell in *reverse* batch order — fancy
+        # assignment keeps the last value written per repeated index,
+        # so after the reversed pass each touched cell holds its set's
+        # earliest position.  An access is its set's first touch iff
+        # the cell holds its own position.  First touches are distinct
+        # sets, hence one conflict-free vectorized round; followers
+        # apply afterwards in batch order, so same-set accesses land in
         # vector order (cross-set order is irrelevant under LRU because
-        # the pre-assigned clocks already encode batch position).  Once
-        # the same-set remainder shrinks below the vectorization payoff
-        # it is applied one access at a time.
+        # the pre-assigned clocks already encode batch position).
         alloc_mask = mask & geom.full_mask
-        order = np.argsort(index, kind="stable")
-        sorted_index = index[order]
-        first = np.empty(n, dtype=bool)
-        first[0] = True
-        np.not_equal(sorted_index[1:], sorted_index[:-1], out=first[1:])
+        fpos = self._first_scratch
+        fpos[index[::-1]] = pos[::-1]
+        fsel = fpos[index]
+        first = fsel == pos
         out = _empty_batch(n)
         if first.all():
-            self._apply_round(None, index, row_tags, eq, hit0, tag, clk,
+            self._apply_round(None, index, way0, hit0, tag, clk,
                               alloc_mask, mask, write, owner, allocate,
-                              out)
+                              out, row_tags=row_tags)
             return out
-        sel0 = order[first]
-        self._apply_round(sel0, index[sel0], row_tags[sel0], eq[sel0],
+        sel0 = np.flatnonzero(first)
+        self._apply_round(sel0, index[sel0], way0[sel0],
                           hit0[sel0], tag, clk, alloc_mask, mask, write,
-                          owner, allocate, out)
-        follow = ~first
-        rest = order[follow]
-        rank = (np.arange(n, dtype=np.int64)
-                - np.flatnonzero(first)[np.cumsum(first) - 1])[follow]
-        r = 1
+                          owner, allocate, out, row_tags=row_tags[sel0])
+        rest = np.flatnonzero(~first)
+        rrow = index[rest]
+        # Same-address chains (e.g. one hot flow hammering its EMC
+        # line): when every follower repeats its set's first tag and
+        # that first access left the line resident (hit or fill), every
+        # follower is a guaranteed hit on that line — no other tag
+        # touches these sets inside the batch, so nothing can evict it
+        # mid-chain.  One vectorized touch replaces the per-access
+        # drain; duplicate slots take the latest stamp via last-wins
+        # fancy assignment, matching the scalar loop.
+        fsel_r = fsel[rest]
+        if bool((tag[rest] == tag[fsel_r]).all()) and \
+                bool((out.hit[fsel_r] | out.fill[fsel_r]).all()):
+            eq_r = self._tags[rrow] == tag[rest][:, None]
+            slot = rrow * ways + eq_r.argmax(axis=1)
+            journal = self._journal
+            if journal is not None:
+                # Pre-images are post-first-round values; reverse replay
+                # restores them before the first round's own entries, so
+                # per-slot chronology is preserved.
+                journal.append((_J_TOUCH, slot, self._stamp_flat[slot],
+                                self._dirty_flat[slot]))
+            self._stamp_flat[slot] = clk[rest]
+            self._set_dirty(slot, _pick(write, rest))
+            out.hit[rest] = True
+            return out
+        if rest.size < _SEQ_MAX:
+            self._apply_sequential(rest.tolist(), index, tag, clk,
+                                   alloc_mask, mask, write, owner,
+                                   allocate, out)
+            return out
+        # Mixed-tag collision load: rank rounds over the remainder only
+        # (entries with rank r are the (r+2)-th access to their set).
+        # Once the remainder shrinks below the vectorization payoff —
+        # or a round itself is too small to amortize a kernel launch —
+        # the rest is applied one access at a time in its set-major,
+        # batch-position order, which preserves per-set access order.
+        ro = rest[np.argsort(rrow, kind="stable")]
+        si = index[ro]
+        newset = np.empty(ro.size, dtype=bool)
+        newset[0] = True
+        np.not_equal(si[1:], si[:-1], out=newset[1:])
+        pos_r = np.arange(ro.size, dtype=np.int64)
+        rank = pos_r - pos_r[newset][np.cumsum(newset) - 1]
+        rest = ro
+        r = 0
         while rest.size:
             if rest.size < _SEQ_MAX:
                 self._apply_sequential(rest.tolist(), index, tag, clk,
@@ -576,9 +637,19 @@ class SlicedLLC:
                 break
             head = rank == r
             sel = rest[head]
-            self._apply_round(sel, index[sel], self._tags[index[sel]],
-                              None, None, tag, clk, alloc_mask, mask,
-                              write, owner, allocate, out)
+            if sel.shape[0] < _ROUND_MIN:
+                # A tiny round means a few sets carry long chains: the
+                # whole remainder drains faster access-at-a-time than
+                # as dozens of near-empty vectorized rounds.
+                self._apply_sequential(rest.tolist(), index, tag, clk,
+                                       alloc_mask, mask, write, owner,
+                                       allocate, out)
+                break
+            rows = index[sel]
+            eq_r = self._tags[rows] == tag[sel][:, None]
+            self._apply_round(sel, rows, eq_r.argmax(axis=1),
+                              eq_r.any(axis=1), tag, clk, alloc_mask,
+                              mask, write, owner, allocate, out)
             keep = ~head
             rest = rest[keep]
             rank = rank[keep]
@@ -670,27 +741,29 @@ class SlicedLLC:
             dirty_m[row, victim] = bool(_pick(write, i))
             owner_m[row, victim] = new_owner
 
-    def _apply_round(self, sel, rows, row_tags, eq, hit, tag, clk,
+    def _apply_round(self, sel, rows, way, hit, tag, clk,
                      alloc_mask, raw_mask, write, owner, allocate,
-                     out) -> None:
+                     out, row_tags=None) -> None:
         """Apply one conflict-free (distinct-set) group of accesses.
 
         ``sel`` holds the group's batch positions (``None`` meaning the
-        whole batch in position order); ``rows`` and ``row_tags`` are
-        the pre-gathered set indices and tag rows.  ``eq``/``hit``
-        carry the batch-entry snapshot lookup when it is still valid
-        (first access to each set); pass ``None`` to recompute against
-        current state (later rounds, after same-set fills).
+        whole batch in position order); ``rows`` the set indices, and
+        ``way``/``hit`` the group's resolved lookup (callers compute
+        them from the batch-entry snapshot for first-touch rounds, or
+        from current state for later rounds).  ``way`` may be ``None``
+        when the group has no hits (it is only consumed on the hit
+        paths).  ``row_tags``, when given, is the group's already
+        gathered ``self._tags[rows]`` — valid for first-touch rounds,
+        where no earlier fill has modified these sets — and spares the
+        miss path a second random gather of the tag table.  Stamps are
+        gathered here for the group's *misses* only — a round that
+        mostly hits never touches the 2-D state at all.
         """
         ways = self._nways
         m = rows.shape[0]
-        if eq is None:
-            eq = row_tags == tag[sel][:, None]
-            hit = eq.any(axis=1)
         nhit = int(np.count_nonzero(hit))
         journal = self._journal
         if nhit:
-            way = eq.argmax(axis=1)
             if nhit == m:
                 slot = rows * ways + way
                 if journal is not None:
@@ -721,12 +794,7 @@ class SlicedLLC:
         k = miss_sel.shape[0]
         if k == 0:
             return
-        if k == m:
-            miss_rows = rows
-            mtags = row_tags
-        else:
-            miss_rows = rows[miss]
-            mtags = row_tags[miss]
+        miss_rows = rows if k == m else rows[miss]
         amask = _pick(alloc_mask, miss_sel)
         if isinstance(amask, np.ndarray):
             a0 = amask[0]
@@ -740,46 +808,109 @@ class SlicedLLC:
                 self._raise_mask_error(_pick(raw_mask, miss_sel))
             # (ways,)-shaped row; ufunc broadcasting against the
             # (k, ways) stamps below is free.
-            allowed = (a0 >> self._way_range) & 1 != 0
+            cached = self._allowed_rows.get(a0)
+            if cached is None:
+                allowed = (a0 >> self._way_range) & 1 != 0
+                # Disallowed ways as an OR-able sentinel row: stamps are
+                # non-negative, so ``stamp | _STAMP_HI`` always exceeds
+                # every allowed key (which stays below the sentinel bit).
+                cached = (allowed, np.where(allowed, 0, _STAMP_HI),
+                          tuple(int(w) for w in np.flatnonzero(allowed)))
+                self._allowed_rows[a0] = cached
+            allowed, dis_row, aw = cached
         else:
             allowed = (amask[:, None] >> self._way_range) & 1 != 0
+            dis_row = aw = None
             if not allowed.any(axis=1).all():
                 self._raise_mask_error(_pick(raw_mask, miss_sel))
-        # Victim selection key per way: invalid allowed ways sort first
-        # (lowest way index wins), then LRU stamp among allowed ways;
-        # argmin's first-match tie-break mirrors the scalar scan order.
-        stamps = self._stamp[miss_rows]
-        key = np.where(allowed,
-                       np.where(mtags == EMPTY, self._invalid_key, stamps),
-                       _STAMP_HI)
-        victim = key.argmin(axis=1)
-        fslot = miss_rows * ways + victim
-        vidx = np.arange(k, dtype=np.int64) * ways + victim
-        victim_tags = mtags.reshape(-1)[vidx]
-        evicted = victim_tags != EMPTY
+        # Victim selection: invalid allowed ways sort first (lowest way
+        # index wins), then LRU stamp among allowed ways; first-match
+        # tie-breaks mirror the scalar scan order.  Narrow uniform masks
+        # (e.g. the two DDIO ways) scan their allowed columns with flat
+        # 1-D gathers — short-axis ``argmin`` over (k, ways) costs far
+        # more than a handful of length-k passes, and the per-way tag
+        # and stamp rows are never materialized.  Wide masks build the
+        # per-way key and let ``argmin`` pick; a full cache (no invalid
+        # ways anywhere) skips the tag comparison entirely.
+        full = self._valid == self._total_lines
+        base = miss_rows * ways
+        tags_flat = self._tags_flat
+        if aw is not None and len(aw) <= 4:
+            stamp_flat = self._stamp_flat
+            w = aw[0]
+            fslot = base + w
+            if full:
+                best = stamp_flat[fslot]
+                for w in aw[1:]:
+                    col = base + w
+                    cand = stamp_flat[col]
+                    better = cand < best
+                    best = np.where(better, cand, best)
+                    fslot = np.where(better, col, fslot)
+            else:
+                best = np.where(tags_flat[fslot] == EMPTY,
+                                _STAMP_LO + w, stamp_flat[fslot])
+                for w in aw[1:]:
+                    col = base + w
+                    cand = np.where(tags_flat[col] == EMPTY,
+                                    _STAMP_LO + w, stamp_flat[col])
+                    better = cand < best
+                    best = np.where(better, cand, best)
+                    fslot = np.where(better, col, fslot)
+        else:
+            stamps = self._stamp[miss_rows]
+            if full:
+                key = stamps | dis_row if dis_row is not None else \
+                    np.where(allowed, stamps, _STAMP_HI)
+            else:
+                if row_tags is None:
+                    # Later rounds: tags may have changed since batch
+                    # entry.
+                    mtags = self._tags[miss_rows]
+                else:
+                    mtags = row_tags if k == m else row_tags[miss]
+                key = np.where(mtags == EMPTY, self._invalid_key, stamps)
+                if aw is None or len(aw) != ways:
+                    # Partial mask: push disallowed ways past every
+                    # valid key (the key can be negative, so the OR
+                    # trick does not apply here).
+                    key = np.where(allowed, key, _STAMP_HI)
+            fslot = base + key.argmin(axis=1)
+        tags_flat = self._tags_flat
         dirty_flat = self._dirty_flat
         dirty_pre = dirty_flat[fslot]
-        writeback = evicted & dirty_pre
         victim_owner = self._owner_flat[fslot]
         new_owner = _pick(owner, miss_sel)
+        if journal is not None or not full:
+            victim_tags = tags_flat[fslot]
         if journal is not None:
-            # ``victim_tags``/``victim_owner``/``dirty_pre`` are fresh
-            # fancy-index gathers of the pre-write state; only the
-            # victims' stamps still need one.
+            # Flat-slot gathers of the pre-write state (written below).
             journal.append((_J_FILL, fslot, victim_tags,
-                            stamps.reshape(-1)[vidx], dirty_pre,
+                            self._stamp_flat[fslot], dirty_pre,
                             victim_owner))
-        self._tags_flat[fslot] = tag[miss_sel]
+        if not full:
+            evicted = victim_tags != EMPTY
+        tags_flat[fslot] = tag[miss_sel]
         self._stamp_flat[fslot] = clk[miss_sel]
         dirty_flat[fslot] = _pick(write, miss_sel)
         self._owner_flat[fslot] = new_owner
         out.fill[miss_sel] = True
+        self.stat_fills += k
+        if full:
+            # Every fill evicts: no per-element valid/evicted masking.
+            out.evicted[miss_sel] = True
+            out.writeback[miss_sel] = dirty_pre
+            out.victim_owner[miss_sel] = victim_owner
+            self.stat_evictions += k
+            self.stat_writebacks += int(np.count_nonzero(dirty_pre))
+            self._occ_update(new_owner, k, victim_owner)
+            return
+        writeback = evicted & dirty_pre
         out.evicted[miss_sel] = evicted
         out.writeback[miss_sel] = writeback
         ev_owner = victim_owner[evicted]
         out.victim_owner[miss_sel[evicted]] = ev_owner
         n_evicted = int(np.count_nonzero(evicted))
-        self.stat_fills += k
         self.stat_evictions += n_evicted
         self.stat_writebacks += int(np.count_nonzero(writeback))
         # Occupancy bookkeeping.

@@ -271,6 +271,34 @@ def _cmd_figure(args) -> int:
         print(f"unknown figure {args.id!r}; try 'repro figures'",
               file=sys.stderr)
         return 2
+    if getattr(args, "profile", False):
+        # Profiling wants the sweep in *this* process and actually
+        # computed: force the serial in-process path and skip the
+        # result cache, else cProfile sees pool plumbing or a cache
+        # hit instead of simulation work.
+        import cProfile
+        import pstats
+
+        args.jobs = 1
+        args.no_cache = True
+        profiler = cProfile.Profile()
+        with ExitStack() as stack:
+            runner = _traced_runner(args, stack)
+            profiler.enable()
+            try:
+                text = _run_entry(entry, fast=args.fast, runner=runner,
+                                  duration=args.duration,
+                                  warmup=args.warmup)
+            finally:
+                profiler.disable()
+            print(text)
+            _finish_trace(runner, args)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print(f"profile: top 20 by cumulative time ({args.id})",
+              file=sys.stderr)
+        stats.print_stats(20)
+        return 0
     with ExitStack() as stack:
         runner = _traced_runner(args, stack)
         print(_run_entry(entry, fast=args.fast, runner=runner,
@@ -514,6 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = sub.add_parser("figure", help="regenerate one figure")
     figure.add_argument("id", help="figure id (see 'repro figures')")
+    figure.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top-20 "
+                             "functions by cumulative time (forces the "
+                             "in-process serial path so the profile sees "
+                             "the sweep, not worker plumbing)")
     add_sweep_flags(figure)
     figure.set_defaults(func=_cmd_figure)
 

@@ -150,6 +150,12 @@ class TrafficGen:
                        phased: "PhasedTraffic | None" = None) -> TrafficQuantum:
         """Sample one quantum of arrivals as a single array bundle.
 
+        This *is* the per-quantum batch: one call covers every sub-step
+        of the quantum and returns one bundle, so the traffic stage pays
+        a handful of RNG/array launches per quantum rather than one set
+        per sub-quantum (the engine's quantum loop calls this exactly
+        once per tenant per quantum).
+
         Phase scripts are honoured at sub-step granularity exactly as the
         per-interval path would: the spec in force for each sub-step is
         ``phased.spec_at`` of that sub-step's start time.  Within a run of

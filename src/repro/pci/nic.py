@@ -168,9 +168,19 @@ class Nic:
         total = int(nlines.sum())
         # Flatten to per-line addresses, packet-major, line order within
         # each packet preserved: base[k] + line * within-packet index.
-        starts = np.concatenate(([0], np.cumsum(nlines)[:-1]))
-        within = np.arange(total, dtype=np.int64) - np.repeat(starts, nlines)
-        addrs = np.repeat(buf_addrs, nlines) + within * line
+        # Fixed-size bursts (the common case) flatten by broadcasting the
+        # line-offset vector against the bases, skipping the
+        # cumsum/repeat chain needed for ragged line counts.
+        c0 = int(nlines[0])
+        if bool((nlines == c0).all()):
+            offsets = np.arange(c0, dtype=np.int64) * line
+            addrs = (buf_addrs[:, None] + offsets).reshape(-1)
+            within = None
+        else:
+            starts = np.concatenate(([0], np.cumsum(nlines)[:-1]))
+            within = (np.arange(total, dtype=np.int64)
+                      - np.repeat(starts, nlines))
+            addrs = np.repeat(buf_addrs, nlines) + within * line
         if not header_only:
             out = llc.ddio_write_batch(addrs, ddio_mask)
             uncore.record_ddio_batch(addrs, out.hit)
@@ -187,7 +197,11 @@ class Nic:
         # Header-only DDIO: the first line of each packet goes through
         # the DDIO path; payload lines bypass the cache (update in place
         # if cached, else the write lands in DRAM without allocating).
-        header = within == 0
+        if within is None:
+            header = np.zeros(total, dtype=bool)
+            header[::c0] = True
+        else:
+            header = within == 0
         out = llc.access_batch(addrs, np.where(header, ddio_mask, 0),
                                write=True, owner=DDIO_OWNER,
                                allocate=header)

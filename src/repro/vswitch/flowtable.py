@@ -151,6 +151,36 @@ class FlowTables:
         """
         k = flow_ids.shape[0]
         tags = self._emc_tags
+        f0 = int(flow_ids[0])
+        if bool((flow_ids == f0).all()):
+            # Single-flow chunk (Fig. 8 drives one flow per port): each
+            # packet after the first hits the slot its predecessor just
+            # filled, so only the stored tag decides the first packet —
+            # no per-slot argsort needed.
+            s0 = f0 % self.emc_entries
+            hit = np.ones(k, dtype=bool)
+            hit[0] = int(tags[s0]) == f0
+            touched = np.asarray([s0], dtype=np.int64)
+            if self._journal is not None:
+                self._journal.append((touched, tags[touched]))
+            tags[s0] = f0
+            nhits = int(np.count_nonzero(hit))
+            self.emc_hits += nhits
+            self.emc_misses += k - nhits
+            emc_addr = self._emc_base + s0 * EMC_ENTRY_BYTES
+            emc_addrs = np.full(k, emc_addr, dtype=np.int64)
+            plan.add_batch(emc_addrs, 1, pkts=pkts, rank=1)
+            if k > nhits:
+                entry = self._mega_base \
+                    + (f0 % self.megaflow_capacity) * MEGAFLOW_ENTRY_BYTES
+                entries = np.asarray([entry], dtype=np.int64)
+                mpkts = pkts[:1]
+                plan.add_batch(entries, 1, pkts=mpkts, rank=2)
+                plan.add_batch(entries + 64, 1, pkts=mpkts, rank=3)
+                plan.add_batch(entries, 1, pkts=mpkts, rank=4)
+                plan.add_batch(emc_addrs[:1], 1, pkts=mpkts, rank=5,
+                               write=True)
+            return hit, np.where(hit, EMC_HIT_CYCLES, MEGAFLOW_CYCLES)
         slots = flow_ids % self.emc_entries
         order = np.argsort(slots, kind="stable")
         so = slots[order]

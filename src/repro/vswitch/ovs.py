@@ -168,13 +168,43 @@ class OvsDataplane(RingConsumer):
         # Forward per destination ring: a ring's state depends only on
         # the posts it receives, and those happen in chunk order here,
         # so drops and buffer addresses match the per-packet path.
+        # Each packet lands on exactly one ring, so when nothing drops
+        # and line counts are uniform the per-ring copy stages collapse
+        # into one whole-chunk rank-6 stage — the per-packet line
+        # placement is identical (one rank-6 segment per packet either
+        # way), and a single identity-packet stage keeps the chunk on
+        # VectorPlan's stage-template fast path.
+        posts = []
+        dropped = False
         for ring_id in range(ndest):
             where = np.nonzero(dest == ring_id)[0]
             if not where.shape[0]:
                 continue
-            self._forward(plan, self._dest_rings[ring_id], where,
-                          sizes[where], flows[where], arrivals[where],
-                          nlines[where])
+            ring = self._dest_rings[ring_id]
+            out_addrs = ring.post_batch(sizes[where], flows[where],
+                                        arrivals[where])
+            accepted = out_addrs.shape[0]
+            if accepted < where.shape[0]:
+                self.output_drops += where.shape[0] - accepted
+                dropped = True
+            if accepted:
+                self.forwarded += accepted
+                posts.append((where[:accepted], out_addrs))
+        c0 = int(nlines[0]) if k else 0
+        if not dropped and posts and bool((nlines == c0).all()):
+            merged = np.empty(k, dtype=np.int64)
+            for where_acc, out_addrs in posts:
+                merged[where_acc] = out_addrs
+            plan.add_batch(merged, c0, pkts=pkts, rank=6, write=True,
+                           mlp=BUFFER_MLP)
+        else:
+            for where_acc, out_addrs in posts:
+                nl = nlines[where_acc]
+                nl0 = int(nl[0])
+                plan.add_batch(out_addrs,
+                               nl0 if bool((nl == nl0).all()) else nl,
+                               pkts=where_acc, rank=6, write=True,
+                               mlp=BUFFER_MLP)
         return OVS_INSTRUCTIONS * k, fixed
 
     def _forward(self, plan, ring, where, sizes, flows, arrivals,

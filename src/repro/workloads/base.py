@@ -17,6 +17,7 @@ chase has ``mlp = 1``.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,7 @@ import numpy as np
 from ..cache.cat import CatController
 from ..cache.llc import SlicedLLC
 from ..mem.dram import MemoryController
+from ..obs.tracer import current_tracer
 from ..perf.counters import CoreCounterBlock
 
 #: Cycles for an access served by the (modelled) L2.
@@ -149,10 +151,14 @@ class CorePort:
         would have issued.  Returns per-packet charged cycles, indexed
         by the plan's packet slots (length ``npackets``).
         """
+        tracer = current_tracer()
+        prof = tracer.profiling
+        t0 = tracer.clock() if prof else 0.0
         flat = plan.materialize()
         if flat is None:
             return np.zeros(npackets)
         addrs, write, mlp_inv, device, pkt = flat
+        t1 = tracer.clock() if prof else 0.0
         # The way mask only governs fills and device lines never
         # allocate, so the core mask can be passed as a scalar for the
         # whole batch — bit-identical to a per-line masked vector.
@@ -170,25 +176,29 @@ class CorePort:
             hit = out.hit
             block.llc_references += int(np.count_nonzero(core))
             block.llc_misses += int(np.count_nonzero(core & ~hit))
+        if prof:
+            t2 = tracer.clock()
+            tracer.profile_add("engine.workloads.plan", t1 - t0)
+            tracer.profile_add("engine.workloads.llc", t2 - t1)
         miss_total = out.misses
         if miss_total:
             self._mem.add_read(self._line * miss_total)
         writebacks = out.writebacks
         if writebacks:
             self._mem.add_write(self._line * writebacks)
-        # Latency lands in a reused per-port buffer: fill the miss cost,
-        # scatter the hit cost, scale by MLP — element-for-element the
-        # same float operations as np.where(hit, H, H + D) * mlp_inv.
+        # Latency lands in a reused per-port buffer, fused to two kernels:
+        # every line pays its MLP-scaled miss cost, then hits are patched
+        # down to the MLP-scaled hit cost.  Element-for-element the same
+        # float operations as np.where(hit, H, H + D) * mlp_inv — the
+        # products commute bit-exactly — and device lines fall out at 0.0
+        # automatically because their mlp_inv is staged as 0.0.
         buf = self._lat_buf
         n = addrs.shape[0]
         if buf.shape[0] < n:
             buf = self._lat_buf = np.empty(max(n, 1024))
         lat = buf[:n]
-        lat[:] = LLC_HIT_CYCLES + self._dram_cycles
-        lat[hit] = LLC_HIT_CYCLES
-        lat *= mlp_inv
-        if device is not None:
-            lat[device] = 0.0
+        np.multiply(mlp_inv, LLC_HIT_CYCLES + self._dram_cycles, out=lat)
+        lat[hit] = mlp_inv[hit] * LLC_HIT_CYCLES
         # One approximate launch count for the execute stage (batch call
         # plus the latency/bincount kernels above).
         ENGINE_STATS.kernel_launches += 6
@@ -273,18 +283,21 @@ class AccessPlan:
 def seq_accumulate(initial: float, values: "np.ndarray") -> float:
     """Left-to-right sum of ``values`` onto ``initial``.
 
-    Fast path: ``np.cumsum`` accumulates strictly sequentially, so for
-    the non-negative cycle/latency streams the vectorized drains feed
-    it, the running cumsum reproduces a scalar ``acc += v`` loop
-    bit-for-bit (``np.sum`` pairs terms and rounds differently, which
-    is why it cannot be used here).  Anything else — negative values or
-    NaNs, which no current caller produces — falls back to an explicit
+    ``np.cumsum`` is ``np.add.accumulate``: it must produce every
+    intermediate prefix, so it applies the additions strictly
+    sequentially and reproduces a scalar ``acc += v`` loop bit-for-bit
+    for *any* float64 input — negative values, infinities, and NaNs
+    included (``np.sum`` pairs terms and rounds differently, which is
+    why it cannot be used here).  Earlier versions gated the cumsum on
+    an all-non-negative pre-scan; the sign check was one extra kernel
+    pass and never bought anything, so mixed-sign streams now take the
+    same fast path.  Non-float64 inputs fall back to the explicit
     left-to-right loop, the defining semantics.
     """
     n = values.shape[0]
     if n == 0:
         return float(initial)
-    if bool((values >= 0.0).all()):
+    if values.dtype == np.float64:
         tmp = np.empty(n + 1)
         tmp[0] = initial
         tmp[1:] = values
@@ -376,6 +389,15 @@ class EngineStats:
 ENGINE_STATS = EngineStats()
 
 
+#: Canonical identity packet-id vector.  The vector drains pass
+#: ``PKT_IOTA[:k]`` as their per-chunk packet ids; :class:`VectorPlan`
+#: recognizes contiguous zero-based slices of this array as
+#: ``arange(k)`` *structurally* — without inspecting their contents —
+#: which is what lets chunks of different sizes share one cached stage
+#: template (see :meth:`VectorPlan._layout_key`).
+PKT_IOTA = np.arange(4096, dtype=np.int64)
+
+
 class VectorPlan:
     """Array-native builder for a batched memory-access sequence.
 
@@ -395,21 +417,60 @@ class VectorPlan:
     constructing a fresh plan.  Materialization writes into persistent
     scratch arrays (grown geometrically) so a steady-state chunk
     allocates nothing; the returned arrays are *views* into that
-    scratch, valid only until the next :meth:`materialize` on the same
-    plan — callers consume them within the chunk.
+    scratch (or cached layout arrays), valid only until the next
+    :meth:`materialize` on the same plan — callers consume them within
+    the chunk and must not mutate them.
+
+    Steady-state chunks share their *stage layout*: the ranks, strides,
+    per-packet line counts, and flag profiles repeat chunk after chunk
+    while only the segment base addresses (and occasionally the packet
+    ids) change.  Materialization therefore caches, per structural
+    signature, the final line order as a gather recipe — ``src`` (which
+    staged segment each line belongs to) and ``off`` (the line's
+    stride offset within its segment) — together with the already
+    permuted static ``write``/``mlp_inv``/``device``/``pkt`` arrays.  A
+    layout hit rebuilds the address stream with three kernels
+    (concatenate the stage bases, gather through ``src``, add ``off``)
+    instead of the former per-stage sizing/fill cascade plus argsort;
+    the sort itself is paid once per layout, not once per chunk.
+
+    Layouts are cached at two levels.  When every stage covers every
+    packet with a fixed line count and identity packet ids (contiguous
+    zero-based :data:`PKT_IOTA` slices — the shape of every steady-state
+    drain chunk), the per-packet line block is identical for all
+    packets, so one *template* keyed only by the stage structure covers
+    every chunk size; the concrete layout for a new ``k`` is stamped out
+    of the template with a handful of tile/repeat kernels, no sort.
+    Ragged or subset stages (e.g. megaflow probes over the EMC-miss
+    packets) fall back to a fully keyed layout build.  All three caches
+    — layouts, templates, and arange steps — are LRU-bounded
+    (:data:`LAYOUT_CACHE_CAP` / :data:`TEMPLATE_CACHE_CAP` /
+    :data:`STEP_CACHE_CAP`) so variable packet mixes cannot grow them
+    without limit.
     """
 
     MAX_RANK = 128
 
-    __slots__ = ("_parts", "_cap", "_steps", "_addr", "_pkt", "_key",
-                 "_write", "_mlp", "_dev", "_addr2", "_pkt2", "_write2",
-                 "_mlp2", "_dev2")
+    #: Max cached concrete stage layouts per plan (LRU-evicted).
+    LAYOUT_CACHE_CAP = 128
+
+    #: Max cached chunk-size-independent stage templates per plan.
+    TEMPLATE_CACHE_CAP = 64
+
+    #: Max cached ``arange(count) * stride`` vectors per plan.
+    STEP_CACHE_CAP = 256
+
+    __slots__ = ("_parts", "_cap", "_steps", "_layouts", "_templates",
+                 "_addr")
 
     def __init__(self) -> None:
-        # (rank, bases, counts, stride, write, mlp_inv, device, pkts)
+        # (rank, bases, counts, stride, write, mlp_inv, device, pkts,
+        #  iota) — iota flags pkts recognized as arange(len(pkts)).
         self._parts: "list[tuple]" = []
         self._cap = 0
-        self._steps: "dict[tuple[int, int], np.ndarray]" = {}
+        self._steps: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._layouts: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._templates: "OrderedDict[tuple, tuple]" = OrderedDict()
 
     def reset(self) -> None:
         """Drop staged parts, keeping scratch arrays for the next chunk."""
@@ -420,50 +481,103 @@ class VectorPlan:
                   device: bool = False) -> None:
         """Append one stage: per packet ``p`` in ``pkts``, ``counts[p]``
         lines starting at ``bases[p]``.  ``counts`` may be a scalar."""
+        pkts = np.asarray(pkts, dtype=np.int64)
+        # Structural arange detection: a C-contiguous zero-based slice
+        # of the canonical PKT_IOTA vector *is* arange(len(pkts)), no
+        # content scan needed.  Anything else (fancy-indexed subsets,
+        # caller-built arrays) simply skips the template fast path.
+        iota = pkts is PKT_IOTA or (
+            pkts.base is PKT_IOTA and pkts.flags.c_contiguous
+            and pkts.shape[0] > 0 and int(pkts[0]) == 0)
         self._parts.append((rank, np.asarray(bases, dtype=np.int64),
                             counts, stride, write,
                             0.0 if device else 1.0 / mlp, device,
-                            np.asarray(pkts, dtype=np.int64)))
+                            pkts, iota))
 
     def _reserve(self, total: int) -> None:
         if total <= self._cap:
             return
         cap = max(total, 2 * self._cap, 1024)
         self._addr = np.empty(cap, dtype=np.int64)
-        self._pkt = np.empty(cap, dtype=np.int64)
-        self._key = np.empty(cap, dtype=np.int64)
-        self._write = np.empty(cap, dtype=bool)
-        self._mlp = np.empty(cap)
-        self._dev = np.empty(cap, dtype=bool)
-        self._addr2 = np.empty(cap, dtype=np.int64)
-        self._pkt2 = np.empty(cap, dtype=np.int64)
-        self._write2 = np.empty(cap, dtype=bool)
-        self._mlp2 = np.empty(cap)
-        self._dev2 = np.empty(cap, dtype=bool)
         self._cap = cap
 
     def _step(self, count: int, stride: int) -> "np.ndarray":
         """Cached ``arange(count) * stride`` for fixed-count stages."""
+        steps = self._steps
         key = (count, stride)
-        step = self._steps.get(key)
+        step = steps.get(key)
         if step is None:
             step = np.arange(count, dtype=np.int64) * stride
-            self._steps[key] = step
+            steps[key] = step
+            if len(steps) > self.STEP_CACHE_CAP:
+                steps.popitem(last=False)
+        else:
+            steps.move_to_end(key)
         return step
 
-    def materialize(self):
-        """Flatten stages to per-line arrays ordered (pkt, rank,
-        insertion); same return contract as :meth:`AccessPlan.materialize`,
-        but the arrays are scratch views (see class docstring).
+    def _layout_key(self) -> "tuple[tuple, tuple | None, int]":
+        """Structural signature of the staged parts.
+
+        Everything that determines the materialized line *order* and the
+        static per-line arrays — ranks, strides, flag profiles, the line
+        counts, and the packet-id vectors — goes into the key; the
+        segment base addresses are deliberately excluded because the
+        cached layout reconstructs addresses from them per chunk.
+
+        Returns ``(key, tkey, k)``: ``key`` addresses the concrete
+        layout cache; when every stage is a scalar-count identity
+        (iota) stage over the same ``k`` packets, ``tkey`` is the
+        chunk-size-independent template key (else ``None``).  Iota
+        stages contribute no per-element bytes to either key — their
+        packet vector is fully described by its length, carried once in
+        the ``k`` suffix — so the steady-state key costs no array
+        scans at all.
         """
-        if not self._parts:
-            return None
+        entries = []
+        lens = []
+        uniform = True
+        k0 = -1
+        for rank, bases, counts, stride, write, mlp_inv, device, pkts, \
+                iota in self._parts:
+            if isinstance(counts, np.ndarray):
+                uniform = False
+                entries.append((1, rank, counts.tobytes(), stride, write,
+                                mlp_inv, device, pkts.tobytes()))
+            elif iota:
+                m = pkts.shape[0]
+                lens.append(m)
+                if k0 < 0:
+                    k0 = m
+                elif m != k0:
+                    uniform = False
+                entries.append((0, rank, counts, stride, write, mlp_inv,
+                                device))
+            else:
+                uniform = False
+                entries.append((2, rank, counts, stride, write, mlp_inv,
+                                device, pkts.tobytes()))
+        entries = tuple(entries)
+        key = (entries, tuple(lens))
+        if uniform and k0 > 0:
+            return key, entries, k0
+        return key, None, k0
+
+    def _build_layout(self) -> tuple:
+        """Build (and launch-account) the layout for the staged parts.
+
+        Returns ``()`` when every stage is empty, else ``(grand,
+        part_idx, src, off, write, mlp_inv, device, pkt)`` where ``src``
+        indexes into the concatenation of the staged parts' base
+        vectors and ``off`` carries each line's within-segment stride
+        offset, both already permuted into the final (pkt, rank,
+        insertion) order alongside the static arrays.
+        """
         stats = ENGINE_STATS
         # Sizing pass: per-stage line totals (ragged cumsums cached for
-        # the fill pass) so one reservation covers the whole chunk.
+        # the fill pass below).
         staged = []
         grand = 0
-        for part in self._parts:
+        for idx, part in enumerate(self._parts):
             counts = part[2]
             if isinstance(counts, np.ndarray):
                 csum = np.cumsum(counts)
@@ -476,24 +590,20 @@ class VectorPlan:
                 csum = None
                 total = part[1].shape[0] * counts
             if total:
-                staged.append((part, csum, grand, total))
+                staged.append((idx, csum, total))
                 grand += total
         if not staged:
-            return None
-        self._reserve(grand)
+            return ()
         multi = len(staged) > 1
-        has_dev = any(entry[0][6] for entry in staged)
-        addr_s = self._addr
-        pkt_s = self._pkt
-        key_s = self._key
-        write_s = self._write
-        mlp_s = self._mlp
-        dev_s = self._dev
-        for part, csum, off, total in staged:
-            rank, bases, counts, stride, write, mlp_inv, device, pkts = part
-            end = off + total
-            sl_addr = addr_s[off:end]
-            sl_pkt = pkt_s[off:end]
+        has_dev = any(self._parts[idx][6] for idx, _, _ in staged)
+        srcs, offs, writes, mlps, devs, pkts_l, keys_l = \
+            [], [], [], [], [], [], []
+        boff = 0
+        for idx, csum, total in staged:
+            rank, bases, counts, stride, write, mlp_inv, device, pkts, \
+                _ = self._parts[idx]
+            m = bases.shape[0]
+            seg = np.arange(boff, boff + m, dtype=np.int64)
             if csum is not None:
                 starts = np.empty_like(csum)
                 starts[0] = 0
@@ -501,47 +611,168 @@ class VectorPlan:
                 within = np.arange(total, dtype=np.int64)
                 within -= np.repeat(starts, counts)
                 np.multiply(within, stride, out=within)
-                np.add(np.repeat(bases, counts), within, out=sl_addr)
-                sl_pkt[:] = np.repeat(pkts, counts)
+                src = np.repeat(seg, counts)
+                pkt_part = np.repeat(pkts, counts)
                 stats.kernel_launches += 7
             elif counts == 1:
-                sl_addr[:] = bases
-                sl_pkt[:] = pkts
+                within = np.zeros(m, dtype=np.int64)
+                src = seg
+                pkt_part = pkts.copy()
                 stats.kernel_launches += 2
             else:
-                m = bases.shape[0]
-                np.add(bases[:, None], self._step(counts, stride),
-                       out=sl_addr.reshape(m, counts))
-                sl_pkt.reshape(m, counts)[:] = pkts[:, None]
-                stats.kernel_launches += 2
-            write_s[off:end] = write
-            mlp_s[off:end] = mlp_inv
+                within = np.tile(self._step(counts, stride), m)
+                src = np.repeat(seg, counts)
+                pkt_part = np.repeat(pkts, counts)
+                stats.kernel_launches += 3
+            srcs.append(src)
+            offs.append(within)
+            writes.append(np.full(total, write))
+            mlps.append(np.full(total, mlp_inv))
             stats.kernel_launches += 2
             if has_dev:
-                dev_s[off:end] = device
+                devs.append(np.full(total, device))
                 stats.kernel_launches += 1
+            pkts_l.append(pkt_part)
             if multi:
-                sl_key = key_s[off:end]
-                np.multiply(sl_pkt, self.MAX_RANK, out=sl_key)
-                sl_key += rank
+                keys_l.append(pkt_part * self.MAX_RANK + rank)
                 stats.kernel_launches += 2
+            boff += m
+        part_idx = tuple(idx for idx, _, _ in staged)
         if not multi:
             # Single stage: already packet-major and rank-uniform.
-            return (addr_s[:grand], write_s[:grand], mlp_s[:grand],
-                    dev_s[:grand] if has_dev else None, pkt_s[:grand])
-        order = np.argsort(key_s[:grand], kind="stable")
-        np.take(addr_s[:grand], order, out=self._addr2[:grand])
-        np.take(pkt_s[:grand], order, out=self._pkt2[:grand])
-        np.take(write_s[:grand], order, out=self._write2[:grand])
-        np.take(mlp_s[:grand], order, out=self._mlp2[:grand])
+            return (grand, part_idx, srcs[0], offs[0], writes[0],
+                    mlps[0], devs[0] if has_dev else None, pkts_l[0])
+        src = np.concatenate(srcs)
+        off = np.concatenate(offs)
+        write_a = np.concatenate(writes)
+        mlp_a = np.concatenate(mlps)
+        dev_a = np.concatenate(devs) if has_dev else None
+        pkt_a = np.concatenate(pkts_l)
+        order = np.argsort(np.concatenate(keys_l), kind="stable")
+        stats.kernel_launches += 8
+        src = src[order]
+        off = off[order]
+        write_a = write_a[order]
+        mlp_a = mlp_a[order]
+        pkt_a = pkt_a[order]
         stats.kernel_launches += 5
-        dev = None
-        if has_dev:
-            np.take(dev_s[:grand], order, out=self._dev2[:grand])
-            dev = self._dev2[:grand]
+        if dev_a is not None:
+            dev_a = dev_a[order]
             stats.kernel_launches += 1
-        return (self._addr2[:grand], self._write2[:grand],
-                self._mlp2[:grand], dev, self._pkt2[:grand])
+        return (grand, part_idx, src, off, write_a, mlp_a, dev_a, pkt_a)
+
+    def _build_template(self) -> tuple:
+        """Chunk-size-independent per-packet line block for uniform
+        (all scalar-count, all iota) stage lists.
+
+        Every packet's lines are the same block: stages sorted by
+        (rank, insertion order), each contributing its fixed line
+        count in stride order.  Returns ``()`` when every stage is
+        empty, else ``(part_idx, s_pat, off_pat, write_pat, mlp_pat,
+        dev_pat)`` where ``s_pat`` names the staged-segment index of
+        each block line (the concrete ``src`` for ``k`` packets is
+        ``s_pat * k + p``).
+        """
+        parts = self._parts
+        staged = [idx for idx, part in enumerate(parts) if part[2] > 0]
+        if not staged:
+            return ()
+        stats = ENGINE_STATS
+        has_dev = any(parts[idx][6] for idx in staged)
+        s_pat_l: "list[int]" = []
+        off_l = []
+        write_l: "list[bool]" = []
+        mlp_l: "list[float]" = []
+        dev_l: "list[bool]" = []
+        block = sorted(range(len(staged)),
+                       key=lambda j: (parts[staged[j]][0], j))
+        for j in block:
+            rank, bases, counts, stride, write, mlp_inv, device, pkts, \
+                _ = parts[staged[j]]
+            c = int(counts)
+            s_pat_l.extend([j] * c)
+            off_l.append(self._step(c, stride))
+            write_l.extend([write] * c)
+            mlp_l.extend([mlp_inv] * c)
+            dev_l.extend([device] * c)
+        s_pat = np.asarray(s_pat_l, dtype=np.int64)
+        off_pat = np.concatenate(off_l)
+        write_pat = np.asarray(write_l, dtype=bool)
+        mlp_pat = np.asarray(mlp_l)
+        dev_pat = np.asarray(dev_l, dtype=bool) if has_dev else None
+        stats.kernel_launches += 5 + (1 if has_dev else 0)
+        return (tuple(staged), s_pat, off_pat, write_pat, mlp_pat,
+                dev_pat)
+
+    def _layout_from_template(self, template: tuple, k: int) -> tuple:
+        """Stamp the concrete ``k``-packet layout out of a template.
+
+        A few tile/repeat kernels replace the generic build's per-stage
+        cascade and argsort: the block pattern already carries the final
+        (rank, insertion) order, and packet-major replication preserves
+        it exactly as the packed-key sort would.
+        """
+        if not template:
+            return ()
+        part_idx, s_pat, off_pat, write_pat, mlp_pat, dev_pat = template
+        nlines = s_pat.shape[0]
+        grand = nlines * k
+        iota = PKT_IOTA[:k]
+        src = (s_pat * k + iota[:, None]).reshape(-1)
+        off = np.tile(off_pat, k)
+        write = np.tile(write_pat, k)
+        mlp = np.tile(mlp_pat, k)
+        dev = np.tile(dev_pat, k) if dev_pat is not None else None
+        pkt = np.repeat(iota, nlines)
+        ENGINE_STATS.kernel_launches += 8 + (1 if dev is not None else 0)
+        return (grand, part_idx, src, off, write, mlp, dev, pkt)
+
+    def materialize(self):
+        """Flatten stages to per-line arrays ordered (pkt, rank,
+        insertion); same return contract as :meth:`AccessPlan.materialize`,
+        but the address array is a scratch view and the static arrays
+        belong to the cached layout (see class docstring).
+        """
+        if not self._parts:
+            return None
+        layouts = self._layouts
+        key, tkey, k = self._layout_key()
+        layout = layouts.get(key)
+        if layout is None:
+            if tkey is not None:
+                templates = self._templates
+                template = templates.get(tkey)
+                if template is None:
+                    template = self._build_template()
+                    templates[tkey] = template
+                    if len(templates) > self.TEMPLATE_CACHE_CAP:
+                        templates.popitem(last=False)
+                else:
+                    templates.move_to_end(tkey)
+                layout = self._layout_from_template(template, k)
+            else:
+                layout = self._build_layout()
+            layouts[key] = layout
+            if len(layouts) > self.LAYOUT_CACHE_CAP:
+                layouts.popitem(last=False)
+        else:
+            layouts.move_to_end(key)
+        if not layout:
+            return None
+        grand, part_idx, src, off, write, mlp_inv, dev, pkt = layout
+        parts = self._parts
+        stats = ENGINE_STATS
+        if len(part_idx) == 1:
+            cat = parts[part_idx[0]][1]
+        else:
+            cat = np.concatenate([parts[i][1] for i in part_idx])
+            stats.kernel_launches += 1
+        self._reserve(grand)
+        addrs = self._addr[:grand]
+        np.take(cat, src, out=addrs)
+        np.add(addrs, off, out=addrs)
+        stats.kernel_launches += 2
+        return addrs, write, mlp_inv, dev, pkt
 
 
 @dataclass

@@ -19,7 +19,7 @@ import numpy as np
 from ..net.packet import lines_per_packet
 from ..pci.ring import DescRing, PacketRecord
 from .base import (AccessPlan, CorePort, ENGINE_STATS, LLC_HIT_CYCLES,
-                   VectorPlan, Workload, seq_accumulate)
+                   PKT_IOTA, VectorPlan, Workload, seq_accumulate)
 
 #: Cycles burned per empty poll of a ring (tight DPDK rx_burst loop).
 EMPTY_POLL_CYCLES = 40.0
@@ -42,7 +42,9 @@ BUFFER_MLP = 8.0
 CHUNK_PACKETS = 256
 
 #: Shared 0..CHUNK_PACKETS-1 ramp; chunks slice read-only views of it.
-_PKT_ARANGE = np.arange(CHUNK_PACKETS, dtype=np.int64)
+#: A view of the canonical ``PKT_IOTA`` so VectorPlan recognizes chunk
+#: packet ids structurally (enabling the stage-template fast path).
+_PKT_ARANGE = PKT_IOTA[:CHUNK_PACKETS]
 
 #: Speculative run-ahead switch for the vector drain.  Module-level so
 #: benchmarks/tests can flip it to measure the worst-case-admission
